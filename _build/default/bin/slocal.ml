@@ -1,0 +1,295 @@
+(* slocal — a command-line interface to the Supported LOCAL framework.
+
+   Subcommands:
+     diagram  — print a problem and its black/white strength diagrams
+     re       — apply the round elimination step RE = R̄ ∘ R
+     lift     — print lift_{Δ,r}(Π) (Definition 3.1)
+     solve    — decide bipartite solvability of a problem on a graph
+     bounds   — evaluate the paper's bound formulas on given parameters
+     gen      — generate a support graph and report girth/independence
+
+   Problems are selected from the built-in families of the paper:
+     matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
+     mm:D                maximal matching    (Appendix A)
+     arb:D:C             Π_D(C)              (Definition 5.2)
+     ruling:D:C:B        Π_D(C,B)            (Definition 6.2)
+     so:D                sinkless orientation
+     col:D:C             C-coloring
+*)
+
+open Cmdliner
+open Slocal_formalism
+module Gen = Slocal_graph.Graph_gen
+module Graph = Slocal_graph.Graph
+module Bipartite = Slocal_graph.Bipartite
+module Girth = Slocal_graph.Girth
+module Solver = Slocal_model.Solver
+module Checker = Slocal_model.Checker
+module MF = Slocal_problems.Matching_family
+module CF = Slocal_problems.Coloring_family
+module RF = Slocal_problems.Ruling_family
+module Classic = Slocal_problems.Classic
+module Core = Supported_local
+
+let parse_problem spec =
+  match String.split_on_char ':' spec with
+  | [ "matching"; d; x; y ] ->
+      MF.pi ~delta:(int_of_string d) ~x:(int_of_string x) ~y:(int_of_string y)
+  | [ "mm"; d ] -> MF.maximal_matching ~delta:(int_of_string d)
+  | [ "arb"; d; c ] -> CF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
+  | [ "ruling"; d; c; b ] ->
+      RF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
+        ~beta:(int_of_string b)
+  | [ "so"; d ] -> Classic.sinkless_orientation ~delta:(int_of_string d)
+  | [ "col"; d; c ] ->
+      Classic.coloring ~delta:(int_of_string d) ~c:(int_of_string c)
+  | "file" :: rest ->
+      let path = String.concat ":" rest in
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Problem.of_string text
+  | _ -> invalid_arg (Printf.sprintf "unknown problem spec %S" spec)
+
+let parse_graph spec =
+  let bipartite_cycle k =
+    let g = Gen.cycle (2 * k) in
+    Bipartite.make g
+      (Array.init (2 * k) (fun v ->
+           if v mod 2 = 0 then Bipartite.White else Bipartite.Black))
+  in
+  match String.split_on_char ':' spec with
+  | [ "cycle"; k ] -> bipartite_cycle (int_of_string k)
+  | [ "kbb"; a; b ] -> Gen.complete_bipartite (int_of_string a) (int_of_string b)
+  | [ "cover-petersen" ] -> Gen.double_cover (Gen.petersen ())
+  | [ "cover-random"; n; d; seed ] ->
+      let rng = Slocal_util.Prng.create (int_of_string seed) in
+      let c =
+        Gen.high_girth_low_independence rng ~n:(int_of_string n)
+          ~d:(int_of_string d) ()
+      in
+      Gen.double_cover c.Gen.graph
+  | [ "biregular"; nw; nb; dw; db; seed ] ->
+      let rng = Slocal_util.Prng.create (int_of_string seed) in
+      Gen.random_biregular rng ~nw:(int_of_string nw) ~nb:(int_of_string nb)
+        ~dw:(int_of_string dw) ~db:(int_of_string db)
+  | _ -> invalid_arg (Printf.sprintf "unknown graph spec %S" spec)
+
+let problem_arg =
+  let doc =
+    "Problem spec: matching:D:X:Y, mm:D, arb:D:C, ruling:D:C:B, so:D, col:D:C, file:PATH."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROBLEM" ~doc)
+
+let graph_arg pos_idx =
+  let doc =
+    "Graph spec: cycle:K (C_2K 2-colored), kbb:A:B, cover-petersen, \
+     cover-random:N:D:SEED, biregular:NW:NB:DW:DB:SEED."
+  in
+  Arg.(required & pos pos_idx (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let diagram_cmd =
+  let run spec =
+    let p = parse_problem spec in
+    print_string (Problem.to_string p);
+    Format.printf "@.black diagram:@.%a@." (Diagram.pp p.Problem.alphabet)
+      (Diagram.black p);
+    Format.printf "@.white diagram:@.%a@." (Diagram.pp p.Problem.alphabet)
+      (Diagram.white p);
+    let closed = Diagram.right_closed_sets (Diagram.black p) in
+    Format.printf "@.%d right-closed label-sets (black):@." (List.length closed);
+    List.iter
+      (fun s ->
+        Format.printf "  %s@." (Re_step.set_name p.Problem.alphabet s))
+      closed
+  in
+  Cmd.v
+    (Cmd.info "diagram" ~doc:"Print a problem and its strength diagrams")
+    Term.(const run $ problem_arg)
+
+let re_cmd =
+  let steps =
+    Arg.(value & opt int 1 & info [ "steps"; "k" ] ~doc:"Number of RE steps.")
+  in
+  let run spec steps =
+    let p = ref (parse_problem spec) in
+    print_string (Problem.to_string !p);
+    for i = 1 to steps do
+      p := Re_step.re !p;
+      Format.printf "@.--- after RE step %d ---@." i;
+      print_string (Problem.to_string !p)
+    done;
+    Format.printf "@.fixed point (up to renaming): %b@."
+      (Re_step.is_fixed_point !p)
+  in
+  Cmd.v
+    (Cmd.info "re" ~doc:"Apply round elimination steps")
+    Term.(const run $ problem_arg $ steps)
+
+let lift_cmd =
+  let delta =
+    Arg.(required & opt (some int) None & info [ "delta" ] ~doc:"Support white degree Δ.")
+  in
+  let r =
+    Arg.(required & opt (some int) None & info [ "r" ] ~doc:"Support black degree r.")
+  in
+  let run spec delta r =
+    let p = parse_problem spec in
+    let l = Core.Lift.lift ~delta ~r p in
+    print_string (Problem.to_string l.Core.Lift.problem);
+    Format.printf "@.label meanings:@.";
+    Array.iteri
+      (fun i s ->
+        Format.printf "  %s = {%s}@."
+          (Alphabet.name l.Core.Lift.problem.Problem.alphabet i)
+          (String.concat ","
+             (List.map
+                (Alphabet.name p.Problem.alphabet)
+                (Slocal_util.Bitset.to_list s))))
+      l.Core.Lift.meaning
+  in
+  Cmd.v
+    (Cmd.info "lift" ~doc:"Print lift_{Δ,r}(Π) (Definition 3.1)")
+    Term.(const run $ problem_arg $ delta $ r)
+
+let solve_cmd =
+  let lift_flag =
+    Arg.(value & flag & info [ "lift" ] ~doc:"Solve the lift of the problem (0-round solvability).")
+  in
+  let budget =
+    Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
+  in
+  let run spec gspec lift_flag budget =
+    let p = parse_problem spec in
+    let g = parse_graph gspec in
+    let problem =
+      if lift_flag then
+        (Core.Zero_round.lift_of_support g p).Core.Lift.problem
+      else p
+    in
+    (match Girth.girth (Bipartite.graph g) with
+    | None -> Format.printf "support: n=%d acyclic@." (Bipartite.n g)
+    | Some girth -> Format.printf "support: n=%d girth=%d@." (Bipartite.n g) girth);
+    match Solver.solve ~max_nodes:budget g problem with
+    | Solver.Solution s ->
+        Format.printf "SOLVABLE (checker: %b)@."
+          (Checker.is_solution g problem s)
+    | Solver.No_solution -> Format.printf "NO SOLUTION@."
+    | Solver.Budget_exceeded -> Format.printf "UNDECIDED (budget)@."
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide bipartite solvability on a concrete graph")
+    Term.(const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget)
+
+let bounds_cmd =
+  let n = Arg.(value & opt float 1e9 & info [ "n" ] ~doc:"Number of nodes.") in
+  let run spec n =
+    (match String.split_on_char ':' spec with
+    | [ "matching"; d'; x; y ] ->
+        let delta' = int_of_string d' in
+        let b =
+          Core.Bounds.matching ~delta:(5 * delta') ~delta' ~x:(int_of_string x)
+            ~y:(int_of_string y) ~eps:0.1 ~n
+        in
+        Format.printf "x-maximal y-matching, Δ'=%d: det >= %.2f, rand >= %.2f, upper ~ %.2f@."
+          delta' b.Core.Bounds.deterministic b.Core.Bounds.randomized
+          (Option.value b.Core.Bounds.upper ~default:nan)
+    | [ "arb"; d; d'; a; c ] ->
+        let b =
+          Core.Bounds.arbdefective ~delta:(int_of_string d)
+            ~delta':(int_of_string d') ~alpha:(int_of_string a)
+            ~c:(int_of_string c) ~eps:0.25 ~n
+        in
+        Format.printf "arbdefective: det >= %.2f, rand >= %.2f, upper ~ %.2f@."
+          b.Core.Bounds.deterministic b.Core.Bounds.randomized
+          (Option.value b.Core.Bounds.upper ~default:nan)
+    | [ "ruling"; d; d'; a; c; beta ] ->
+        let b =
+          Core.Bounds.ruling_set ~delta:(int_of_string d)
+            ~delta':(int_of_string d') ~alpha:(int_of_string a)
+            ~c:(int_of_string c) ~beta:(int_of_string beta) ~eps:0.25 ~cbig:2.
+            ~n
+        in
+        Format.printf "ruling set: det >= %.2f, rand >= %.2f, upper ~ %.2f@."
+          b.Core.Bounds.deterministic b.Core.Bounds.randomized
+          (Option.value b.Core.Bounds.upper ~default:nan)
+    | [ "mis" ] ->
+        let c = Core.Bounds.mis_vs_chromatic ~n in
+        Format.printf
+          "MIS corollary at n=%.0f: Δ'=%.1f Δ=%.1f lower=%.2f χ-upper=%.2f@."
+          n c.Core.Bounds.delta' c.Core.Bounds.delta c.Core.Bounds.lower_bound
+          c.Core.Bounds.chromatic_upper
+    | _ -> invalid_arg "bounds spec: matching:D':X:Y | arb:D:D':A:C | ruling:D:D':A:C:B | mis");
+    ()
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"Bound spec.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Evaluate the paper's bound formulas")
+    Term.(const run $ spec_arg $ n)
+
+let sequence_cmd =
+  let steps =
+    Arg.(value & opt int 2 & info [ "steps"; "k" ] ~doc:"Number of RE iterations.")
+  in
+  let run spec steps =
+    let p = parse_problem spec in
+    let seq = Sequence.iterate_re p ~steps in
+    List.iteri
+      (fun i q ->
+        Format.printf "Π_%d: %d labels, %d white / %d black configurations@." i
+          (Alphabet.size q.Problem.alphabet)
+          (Constr.size q.Problem.white)
+          (Constr.size q.Problem.black))
+      seq;
+    List.iter
+      (fun (st : Sequence.step) ->
+        Format.printf "step %d relaxation-of-RE check: %s@." st.Sequence.index
+          (match st.Sequence.verified with
+          | Some true -> "verified"
+          | Some false -> "refuted"
+          | None -> "budget"))
+      (Sequence.check ~max_nodes:5_000_000 seq);
+    Format.printf "lower-bound sequence: %s@."
+      (match Sequence.is_lower_bound_sequence ~max_nodes:5_000_000 seq with
+      | Some true -> "yes"
+      | Some false -> "no"
+      | None -> "undecided")
+  in
+  Cmd.v
+    (Cmd.info "sequence"
+       ~doc:"Iterate RE and machine-check the lower-bound sequence")
+    Term.(const run $ problem_arg $ steps)
+
+let gen_cmd =
+  let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Target node count.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run n d seed =
+    let rng = Slocal_util.Prng.create seed in
+    let c = Gen.high_girth_low_independence rng ~n ~d () in
+    let g = c.Gen.graph in
+    Format.printf "generated %d-regular graph: n=%d girth=%s independence<=%d (%s)@."
+      d (Graph.n g)
+      (match c.Gen.girth with None -> "∞" | Some x -> string_of_int x)
+      c.Gen.independence_upper
+      (if c.Gen.independence_exact then "exact" else "matching bound");
+    Format.printf "Lemma 2.1 target: girth >= ε·log_Δ n = %.2f·ε, independence <= α·%.2f@."
+      (log (float_of_int (Graph.n g)) /. log (float_of_int d))
+      (Slocal_graph.Independence.upper_bound_alon ~n:(Graph.n g) ~delta:d
+         ~alpha:1.0)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a Lemma 2.1-style support graph")
+    Term.(const run $ n $ d $ seed)
+
+let () =
+  let info =
+    Cmd.info "slocal" ~version:"1.0.0"
+      ~doc:"Round elimination and lower bounds in the Supported LOCAL model"
+  in
+  exit (Cmd.eval (Cmd.group info [ diagram_cmd; re_cmd; lift_cmd; solve_cmd; bounds_cmd; gen_cmd; sequence_cmd ]))

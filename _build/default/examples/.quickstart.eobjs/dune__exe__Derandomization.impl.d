@@ -1,0 +1,1 @@
+examples/derandomization.ml: Array Format List Printf Slocal_graph Slocal_model Slocal_util String Supported_local

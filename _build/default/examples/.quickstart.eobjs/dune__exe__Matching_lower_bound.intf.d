@@ -1,0 +1,1 @@
+examples/matching_lower_bound.mli:

@@ -1,0 +1,1 @@
+examples/mis_supported.ml: Array Format List Slocal_graph Slocal_model Slocal_problems Slocal_util Supported_local

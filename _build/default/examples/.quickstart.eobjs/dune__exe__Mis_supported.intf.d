@@ -1,0 +1,1 @@
+examples/mis_supported.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alphabet Array Constr Diagram Format List Problem Re_step Slocal_formalism Slocal_graph Slocal_model Slocal_util Supported_local

@@ -1,0 +1,1 @@
+examples/ruling_sets.ml: Alphabet Array Diagram Format List Option Problem Slocal_formalism Slocal_graph Slocal_model Slocal_problems Slocal_util String Supported_local

@@ -1,0 +1,1 @@
+examples/ruling_sets.mli:

@@ -1,0 +1,88 @@
+(* Derandomization in the Supported LOCAL model (Appendix C).
+
+   The paper's randomized lower bounds all come from one lifting
+   theorem: D(n) ≤ R(2^{3n²}).  Its proof counts Supported LOCAL
+   instances — 2^{C(n,2)} support graphs × n! (normalized) identifier
+   assignments × 2^{n²} input-edge markings — and union-bounds a
+   randomized algorithm's failures across all of them: running the
+   randomized algorithm pretending the world has 2^{3n²} nodes pushes
+   its failure probability below 2^{-3n²}, leaving a deterministic
+   choice of random bits that works everywhere.
+
+   This example walks through each ingredient concretely:
+   1. identifier normalization (why n! and not n^c choose-n),
+   2. the instance accounting at small n,
+   3. a randomized baseline (Luby's MIS) whose round count beats the
+      deterministic χ_G barrier — the gap the lifting quantifies,
+   4. the failure-probability side: how far a one-shot randomized
+      coloring is from the 2^{-3n²} needed by the union bound.
+
+   Run with: dune exec examples/derandomization.exe *)
+
+module Gen = Slocal_graph.Graph_gen
+module Graph = Slocal_graph.Graph
+module Prng = Slocal_util.Prng
+module Ids = Slocal_model.Ids
+module Algorithms = Slocal_model.Algorithms
+module Randomized = Slocal_model.Randomized
+module Derandomize = Supported_local.Derandomize
+
+let () =
+  Format.printf "== 1. Identifier normalization (the Section 3 remark) ==@.";
+  let ids = [| 4021; 17; 993; 250 |] in
+  let ranks = Ids.normalize ids in
+  Format.printf "  raw IDs   : %s@."
+    (String.concat " " (Array.to_list (Array.map string_of_int ids)));
+  Format.printf "  normalized: %s (canonical: %b)@."
+    (String.concat " " (Array.to_list (Array.map string_of_int ranks)))
+    (Ids.is_canonical ranks);
+  Format.printf
+    "  every node knows the whole support, so ranks are computable with 0 \
+     rounds:@.  the ID space is w.l.o.g. {1..n}, and only n! assignments \
+     need counting.@.";
+
+  Format.printf "@.== 2. Instance accounting (Lemma C.2) ==@.";
+  Format.printf "  %4s %10s %8s %10s %10s %8s@." "n" "graphs" "ids" "inputs"
+    "total" "3n²";
+  List.iter
+    (fun n ->
+      let c = Derandomize.graph_instances ~n in
+      Format.printf "  %4d %10.0f %8.0f %10.0f %10.0f %8.0f@." n
+        c.Derandomize.log2_graphs c.Derandomize.log2_ids
+        c.Derandomize.log2_inputs c.Derandomize.log2_total
+        c.Derandomize.log2_bound)
+    [ 4; 8; 16; 32 ];
+  Format.printf "  (all columns are log₂; the total stays below 3n².)@.";
+
+  Format.printf "@.== 3. What randomness buys: Luby vs the χ_G sweep ==@.";
+  let rng = Prng.create 31 in
+  Format.printf "  %6s %4s %14s %16s@." "n" "Δ" "sweep rounds" "Luby mean (20x)";
+  List.iter
+    (fun (n, d) ->
+      let support = Gen.random_regular rng ~n ~d in
+      let marks = Array.init (Graph.m support) (fun _ -> Prng.int rng 100 < 80) in
+      let inst = Algorithms.instance support marks in
+      let _, sweep = Algorithms.mis inst in
+      let stats = Randomized.luby_mis_stats ~seed:3 ~trials:20 inst in
+      Format.printf "  %6d %4d %14d %16.1f@." n d sweep
+        stats.Randomized.mean_rounds)
+    [ (64, 4); (256, 8); (512, 12) ];
+  Format.printf
+    "  Luby stays ~O(log n) as Δ (and hence χ_G) grows — Theorem 1.7 shows@.";
+  Format.printf
+    "  no deterministic algorithm can do that, and Lemma C.2 is why the@.";
+  Format.printf "  resulting randomized bound only loses a log: Ω(log_Δ log n).@.";
+
+  Format.printf "@.== 4. The union-bound gap ==@.";
+  Format.printf "  %5s %4s %16s %18s@." "n" "c" "success prob" "needed: 2^(-3n²)";
+  List.iter
+    (fun (n, c) ->
+      let g = Gen.cycle n in
+      let p = Randomized.success_probability_estimate ~seed:7 ~trials:50000 g ~c in
+      Format.printf "  %5d %4d %16.4f %18s@." n c p
+        (Printf.sprintf "2^-%d" (3 * n * n)))
+    [ (4, 2); (6, 3); (8, 3) ];
+  Format.printf
+    "  a per-instance failure this large survives the union bound only after@.";
+  Format.printf
+    "  the n ↦ 2^{3n²} inflation — exactly the D(n) ≤ R(2^{3n²}) statement.@."

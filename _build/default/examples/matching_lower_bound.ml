@@ -1,0 +1,98 @@
+(* The Theorem 4.1 pipeline on concrete instances: lower bounds for
+   x-maximal y-matchings in the Supported LOCAL model.
+
+   Section 4.2's plan, executed end to end:
+
+   1. take the last problem Π_Δ'(x', y) of the lower-bound sequence
+      (x' = Δ'-1-y; the sequence has length k = ⌊(Δ'-x)/y⌋ - 2 by
+      Lemma 4.5 / Corollary 4.6);
+   2. build the support graph: the bipartite double cover of a
+      high-girth Δ-regular graph with Δ = 5Δ' (Lemma 2.1 substitute);
+   3. show lift_{Δ,Δ}(Π_Δ'(x',y)) unsolvable — by the exact solver on
+      small instances, and by the Lemma 4.7–4.9 counting arithmetic in
+      general;
+   4. read off the round bounds of Theorem 3.4.
+
+   Run with: dune exec examples/matching_lower_bound.exe *)
+
+module Gen = Slocal_graph.Graph_gen
+module Graph = Slocal_graph.Graph
+module Bipartite = Slocal_graph.Bipartite
+module Girth = Slocal_graph.Girth
+module Prng = Slocal_util.Prng
+module MF = Slocal_problems.Matching_family
+module Solver = Slocal_model.Solver
+module Lift = Supported_local.Lift
+module Counting = Supported_local.Counting
+module Bounds = Supported_local.Bounds
+module Framework = Supported_local.Framework
+
+let () =
+  let delta' = 3 and y = 1 and x = 0 in
+  let delta = 5 * delta' in
+  let k = MF.sequence_length ~delta':delta' ~x ~y in
+  Format.printf
+    "x-maximal y-matching with x=%d y=%d Δ'=%d: sequence length k = %d@." x y
+    delta' k;
+  let last = MF.pi_last ~delta:delta' ~y in
+  Format.printf "last problem of the sequence: %s@." last.Slocal_formalism.Problem.name;
+
+  (* Step 2: the support graph. *)
+  let rng = Prng.create 7 in
+  let cert = Gen.high_girth_low_independence rng ~n:20 ~d:delta () in
+  let support = Gen.double_cover cert.Gen.graph in
+  Format.printf "support: double cover of a %d-regular graph, n=%d, girth=%s@."
+    delta (Bipartite.n support)
+    (match Girth.girth (Bipartite.graph support) with
+    | None -> "∞"
+    | Some g -> string_of_int g);
+
+  (* Step 3a: exhaustive search hits a wall very quickly — which is
+     precisely why Section 4.2 proves counting lemmas instead of
+     searching. *)
+  let r = Framework.analyze ~max_nodes:2_000_000 support ~last_problem:last ~k in
+  Format.printf "exact search (2M-node budget): %a@." Framework.pp_result r;
+
+  (* Step 3b: the Lemma 4.7-4.9 certificate, valid on any support of
+     these degrees regardless of size.  Lemma 4.8 forces at least
+     n((Δ-Δ')/2 - y) P-edges, Lemma 4.9 allows at most n(Δ'-1): *)
+  (match Counting.certify_matching_unsolvable support ~delta':delta' ~y with
+  | Some c when c.Counting.contradictory ->
+      Format.printf
+        "counting certificate: P-edges >= %.0f but <= %.0f — no lift solution exists on this support.@."
+        c.Counting.p_lower c.Counting.p_upper
+  | Some _ -> Format.printf "counting certificate inconclusive here@."
+  | None -> Format.printf "support shape not covered by the certificate@.");
+
+  Format.printf "@.counting argument across Δ' (per Section 4.2):@.";
+  List.iter
+    (fun delta'' ->
+      let c =
+        Counting.matching_contradiction ~delta:(5 * delta'') ~delta':delta'' ~y
+          ~n:1000
+      in
+      Format.printf
+        "  Δ'=%2d: P-edges >= %8.0f and <= %8.0f  =>  %s@." delta''
+        c.Counting.p_lower c.Counting.p_upper
+        (if c.Counting.contradictory then "CONTRADICTION (no lift solution)"
+         else "no contradiction"))
+    [ 3; 4; 8; 16; 32 ];
+
+  (* Step 4: the bound table of Theorem 1.5 / 4.1. *)
+  Format.printf "@.Theorem 4.1 bounds (ε = 1, Δ = 5Δ'):@.";
+  Format.printf "  %6s %6s %12s %12s %12s@." "Δ'" "k" "det LB" "rand LB" "upper O(Δ')";
+  List.iter
+    (fun delta'' ->
+      let b =
+        Bounds.matching ~delta:(5 * delta'') ~delta':delta'' ~x ~y ~eps:1.0
+          ~n:1e30
+      in
+      Format.printf "  %6d %6d %12.1f %12.1f %12.1f@." delta''
+        (MF.sequence_length ~delta':delta'' ~x ~y)
+        b.Bounds.deterministic b.Bounds.randomized
+        (Option.value b.Bounds.upper ~default:nan))
+    [ 4; 8; 16; 32; 64 ];
+  Format.printf
+    "@.Shape: the lower bound is linear in Δ' and meets the O(Δ') upper \
+     bound — Theorem 4.1 is tight,@.answering [AAPR23]'s 2-colored \
+     maximal matching question negatively.@."

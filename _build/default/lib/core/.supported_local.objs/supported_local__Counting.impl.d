@@ -1,0 +1,1 @@
+lib/core/counting.ml: Array Bipartite Graph Hashtbl Lift List Matching Slocal_formalism Slocal_graph Slocal_problems Slocal_util

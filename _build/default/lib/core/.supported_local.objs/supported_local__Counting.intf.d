@@ -1,0 +1,1 @@
+lib/core/counting.mli: Bipartite Graph Hashtbl Lift Slocal_formalism Slocal_graph Slocal_util

@@ -1,0 +1,1 @@
+lib/core/derandomize.ml: Float

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Bipartite Format Girth Graph Hypergraph Lift Printf Re_supported Slocal_graph Slocal_model Solver Zero_round

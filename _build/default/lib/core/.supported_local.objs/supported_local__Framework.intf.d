@@ -1,0 +1,1 @@
+lib/core/framework.mli: Bipartite Format Hypergraph Lift Problem Slocal_formalism Slocal_graph

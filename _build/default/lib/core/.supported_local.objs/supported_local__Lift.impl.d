@@ -1,0 +1,1 @@
+lib/core/lift.ml: Alphabet Array Constr Diagram Hashtbl List Printf Problem Re_step Slocal_formalism Slocal_util

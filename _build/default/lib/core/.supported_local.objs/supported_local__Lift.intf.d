@@ -1,0 +1,1 @@
+lib/core/lift.mli: Problem Slocal_formalism Slocal_util

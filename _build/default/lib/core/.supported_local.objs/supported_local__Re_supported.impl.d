@@ -1,0 +1,1 @@
+lib/core/re_supported.ml: Float

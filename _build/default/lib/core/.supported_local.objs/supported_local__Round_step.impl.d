@@ -1,0 +1,1 @@
+lib/core/round_step.ml: Alphabet Array Bipartite Checker Constr Graph Hashtbl List Problem Re_step Slocal_formalism Slocal_graph Slocal_model Slocal_util Supported View

@@ -1,0 +1,1 @@
+lib/core/round_step.mli: Bipartite Problem Re_step Slocal_formalism Slocal_graph Slocal_model Supported

@@ -1,0 +1,1 @@
+lib/core/zero_round.ml: Array Bipartite Constr Diagram Graph Hashtbl Hypergraph Lift List Problem Slocal_formalism Slocal_graph Slocal_model Slocal_util Solver Supported View Zero_round_search

@@ -1,0 +1,1 @@
+lib/core/zero_round.mli: Bipartite Hypergraph Lift Problem Slocal_formalism Slocal_graph Slocal_model Supported Zero_round_search

@@ -1,0 +1,89 @@
+type two_sided = {
+  deterministic : float;
+  randomized : float;
+  upper : float option;
+}
+
+let log_base ~base x =
+  if x <= 0. || base <= 1. then neg_infinity else log x /. log base
+
+let matching_sequence_length ~delta' ~x ~y = ((delta' - x) / y) - 2
+
+(* Randomized instances enter through Lemma C.2: R(n) >= D(sqrt(log₂ n / 3)),
+   which under log_Δ collapses to the paper's log_Δ log n form. *)
+let rand_size n = sqrt (Float.max 1. (log n /. log 2.) /. 3.)
+
+let matching ~delta ~delta' ~x ~y ~eps ~n =
+  if delta < 5 * delta' then
+    invalid_arg "Bounds.matching: the Section 4.2 proof needs Δ >= 5Δ'";
+  let k = float_of_int (matching_sequence_length ~delta' ~x ~y) in
+  let d = float_of_int delta in
+  let det = Float.min k (eps *. log_base ~base:d n) -. 1. -. 2. in
+  let rand = Float.min k (eps *. log_base ~base:d (rand_size n)) -. 1. -. 2. in
+  {
+    deterministic = det;
+    randomized = rand;
+    upper = Some (float_of_int (delta' + 1));
+  }
+
+let arbdefective_applicable ~delta ~delta' ~alpha ~c ~eps =
+  let d = float_of_int delta in
+  float_of_int ((alpha + 1) * c)
+  <= Float.min (float_of_int delta') (eps *. d /. Float.max 1. (log d))
+
+let arbdefective ~delta ~delta' ~alpha ~c ~eps ~n =
+  if not (arbdefective_applicable ~delta ~delta' ~alpha ~c ~eps) then
+    invalid_arg "Bounds.arbdefective: (α+1)c must be at most min{Δ', εΔ/log Δ}";
+  let d = float_of_int delta in
+  {
+    deterministic = log_base ~base:d n;
+    randomized = log_base ~base:d (rand_size n);
+    upper = Some (d /. Float.max 1. (log d));
+  }
+
+let ruling_bar_delta ~delta ~delta' ~eps ~cbig ~beta =
+  let d = float_of_int delta in
+  Float.min (float_of_int delta') (eps *. d /. Float.max 1. (log d))
+  /. Float.pow 2. (cbig *. float_of_int beta)
+
+let ruling_set ~delta ~delta' ~alpha ~c ~beta ~eps ~cbig ~n =
+  if beta < 1 then invalid_arg "Bounds.ruling_set: beta >= 1";
+  let d = float_of_int delta in
+  let bar = ruling_bar_delta ~delta ~delta' ~eps ~cbig ~beta in
+  let body = Float.pow (bar /. float_of_int ((alpha + 1) * c)) (1. /. float_of_int beta) in
+  let det = Float.min body (log_base ~base:d n) in
+  let rand = Float.min body (log_base ~base:d (rand_size n)) in
+  (* [BBKO22] upper bound from a k-coloring, k = Δ/log Δ (the support
+     coloring computable in 0 rounds). *)
+  let k = d /. Float.max 1. (log d) in
+  let upper =
+    float_of_int beta
+    *. Float.pow (k /. float_of_int ((alpha + 1) * c)) (1. /. float_of_int beta)
+  in
+  { deterministic = det; randomized = rand; upper = Some upper }
+
+type mis_corollary = {
+  n : float;
+  delta' : float;
+  delta : float;
+  lower_bound : float;
+  chromatic_upper : float;
+}
+
+let mis_vs_chromatic ~n =
+  let delta' = log n /. Float.max 1. (log (log n)) in
+  let delta = delta' *. Float.max 1. (log delta') in
+  (* With Δ̄ = Θ(Δ') = Θ(log n / log log n) and β = 1, α = 0, c = 1,
+     the bound is min {Δ̄, log_Δ n} = Θ(log n / log log n). *)
+  let lower = Float.min delta' (log_base ~base:(Float.max 2. delta) n) in
+  {
+    n;
+    delta';
+    delta;
+    lower_bound = lower;
+    chromatic_upper = delta /. Float.max 1. (log delta);
+  }
+
+let lifting_gap ~n =
+  let nf = float_of_int n in
+  3. *. nf *. nf

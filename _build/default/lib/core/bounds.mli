@@ -1,0 +1,79 @@
+(** The paper's bound statements as computable formulas.
+
+    Each theorem of Sections 1.1 and 4–6 is rendered as an explicit
+    function of its parameters, with the constants the proofs actually
+    provide (e.g. the [-2] from Lemma 4.4, the [c = 5] support/input
+    degree ratio of Section 4.2, the [-1] from Theorem 3.4).  The
+    bench harness sweeps these to regenerate the theorem "tables";
+    matching upper bounds are included so each table can show both
+    sides of the envelope. *)
+
+type two_sided = {
+  deterministic : float;  (** Lower bound on deterministic rounds. *)
+  randomized : float;  (** Lower bound on randomized rounds. *)
+  upper : float option;  (** A known Supported LOCAL upper bound, if implemented. *)
+}
+
+val log_base : base:float -> float -> float
+
+(** {1 Theorem 1.5 / 4.1 — x-maximal y-matching} *)
+
+val matching_sequence_length : delta':int -> x:int -> y:int -> int
+(** [k = ⌊(Δ'-x)/y⌋ - 2]. *)
+
+val matching : delta:int -> delta':int -> x:int -> y:int -> eps:float -> n:float -> two_sided
+(** Requires [Δ >= 5Δ'] (the proof's constant).  Deterministic:
+    [min {k, ε·log_Δ n} - 1 - 2]; randomized with [log_Δ log n]; upper
+    bound [O(Δ')] from the proposal algorithm (reported as [Δ' + 1]
+    phases). *)
+
+(** {1 Theorem 1.6 / 5.1 — α-arbdefective c-coloring} *)
+
+val arbdefective_applicable :
+  delta:int -> delta':int -> alpha:int -> c:int -> eps:float -> bool
+(** [(α+1)·c ≤ min {Δ', ε·Δ/log Δ}]. *)
+
+val arbdefective : delta:int -> delta':int -> alpha:int -> c:int -> eps:float -> n:float -> two_sided
+(** When applicable: deterministic [Ω(log_Δ n)], randomized
+    [Ω(log_Δ log n)]; upper bound [χ_G = O(Δ/log Δ)] support-coloring
+    sweeps when [(α+1)c > Δ'] would make it 0 rounds — reported as the
+    greedy sweep count [Δ/log Δ]. *)
+
+(** {1 Theorem 1.7 / 6.1 — α-arbdefective c-colored β-ruling sets} *)
+
+val ruling_bar_delta :
+  delta:int -> delta':int -> eps:float -> cbig:float -> beta:int -> float
+(** [Δ̄ = min {Δ', εΔ/log Δ} / 2^{c·β}]. *)
+
+val ruling_set :
+  delta:int ->
+  delta':int ->
+  alpha:int ->
+  c:int ->
+  beta:int ->
+  eps:float ->
+  cbig:float ->
+  n:float ->
+  two_sided
+(** Deterministic [min {(Δ̄/((α+1)c))^{1/β}, log_Δ n}], randomized with
+    [log_Δ log n]; upper bound [β·(k/((α+1)c))^{1/β}] given a
+    k-coloring of the support ([BBKO22]), with [k = Δ/log Δ]. *)
+
+(** {1 The [AAPR23] corollaries (Section 1.1)} *)
+
+type mis_corollary = {
+  n : float;
+  delta' : float;  (** [log n / log log n]. *)
+  delta : float;  (** [Δ' log Δ']. *)
+  lower_bound : float;  (** [Ω(log n / log log n)] from Theorem 1.7. *)
+  chromatic_upper : float;  (** [χ_G = Θ(Δ/log Δ)] rounds for MIS. *)
+}
+
+val mis_vs_chromatic : n:float -> mis_corollary
+(** The instantiation answering [AAPR23]'s open question: the
+    χ_G-round MIS algorithm is optimal for deterministic algorithms. *)
+
+(** {1 Theorem 1.3 — lifting} *)
+
+val lifting_gap : n:int -> float
+(** log₂ of the instance size blow-up of Lemma C.2: [3n²]. *)

@@ -1,0 +1,51 @@
+type count = {
+  log2_graphs : float;
+  log2_ids : float;
+  log2_inputs : float;
+  log2_total : float;
+  log2_bound : float;
+}
+
+let log2_factorial n =
+  let acc = ref 0. in
+  for i = 2 to n do
+    acc := !acc +. (log (float_of_int i) /. log 2.)
+  done;
+  !acc
+
+let graph_instances ~n =
+  let nf = float_of_int n in
+  let log2_graphs = nf *. (nf -. 1.) /. 2. in
+  let log2_ids = log2_factorial n in
+  let log2_inputs = nf *. nf in
+  {
+    log2_graphs;
+    log2_ids;
+    log2_inputs;
+    log2_total = log2_graphs +. log2_ids +. log2_inputs;
+    log2_bound = 3. *. nf *. nf;
+  }
+
+let hypergraph_instances ~n =
+  let nf = float_of_int n in
+  (* Linear hypergraphs with hyperedges of size >= 2 have at most n²
+     hyperedges; the Appendix C encoding uses 2n⌈log n⌉ bits per node
+     for the hyperedge arrays and n³ input bits. *)
+  let ceil_log = Float.round (Float.ceil (log (Float.max 2. nf) /. log 2.)) in
+  let log2_graphs = 2. *. nf *. nf *. ceil_log in
+  let log2_ids = log2_factorial n in
+  let log2_inputs = nf *. nf *. nf in
+  {
+    log2_graphs;
+    log2_ids;
+    log2_inputs;
+    log2_total = log2_graphs +. log2_ids +. log2_inputs;
+    log2_bound = 4. *. nf *. nf *. nf;
+  }
+
+let randomized_size_for ~n =
+  let nf = float_of_int n in
+  3. *. nf *. nf
+
+let deterministic_from_randomized ~r_complexity ~n =
+  r_complexity (randomized_size_for ~n)

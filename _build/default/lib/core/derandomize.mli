@@ -1,0 +1,36 @@
+(** The Supported LOCAL lifting theorem (Appendix C).
+
+    Lemma C.2: [D_Π(n) ≤ R_Π(2^{3n²})] — a deterministic algorithm on
+    instances of size [n] can be extracted from a randomized one run
+    with an inflated node count, because the number of distinct
+    Supported LOCAL instances of size [n] is below [2^{3n²}]:
+    [2^{C(n,2)}] support graphs × [n! ≤ 2^{n log n}] (renormalized) ID
+    assignments × [2^{n²}] input-edge markings.
+
+    Theorem C.3 (hypergraphs): [D_Π(n) ≤ R_Π(2^{4n³})] on linear
+    hypergraphs with all hyperedges of size ≥ 2.
+
+    All counts are reported in log₂ to stay in floating range. *)
+
+type count = {
+  log2_graphs : float;
+  log2_ids : float;
+  log2_inputs : float;
+  log2_total : float;
+  log2_bound : float;  (** The paper's closed-form cap (3n² or 4n³). *)
+}
+
+val graph_instances : n:int -> count
+(** The Lemma C.2 accounting for ordinary support graphs. *)
+
+val hypergraph_instances : n:int -> count
+(** The Theorem C.3 accounting for linear hypergraphs. *)
+
+val randomized_size_for : n:int -> float
+(** log₂ of the instance size at which the randomized algorithm must
+    be run to derandomize at size [n] (i.e. [3n²]). *)
+
+val deterministic_from_randomized : r_complexity:(float -> float) -> n:int -> float
+(** [D(n) ≤ R(2^{3n²})]: evaluate a randomized round-complexity curve
+    (as a function of log₂ of the instance size) at the inflated
+    size. *)

@@ -1,0 +1,39 @@
+(** Round-counting for round elimination in Supported LOCAL
+    (Theorem B.2 and Theorem 3.4 / Corollary 3.5).
+
+    These are the arithmetic shells of the framework: given the length
+    [k] of a lower-bound sequence whose last problem is 0-round
+    unsolvable, and the girth of the support graph, they compute the
+    resulting round lower bounds.  All functions return the exact
+    expressions from the paper (no asymptotic hand-waving), as
+    integers where the paper gives integers and floats where the paper
+    divides. *)
+
+val theorem_b2 : k:int -> girth:int -> int
+(** [min {2k, (g-4)/2}]: deterministic white-algorithm rounds needed to
+    bipartitely solve [Π_0] when [Π_k] is 0-round unsolvable on a
+    support graph of girth [g]. *)
+
+val corollary_b3 : k:int -> girth:int -> int
+(** Hypergraph version: [min {k, (g-4)/2}] (girth of a hypergraph being
+    half the incidence girth). *)
+
+val log_base : base:float -> float -> float
+
+val theorem_34_det :
+  k:int -> eps:float -> c:float -> delta:int -> r:int -> n:float -> float
+(** [min {2k, (ε(log_{Δr} n - c) - 4)/2} - 1] — the deterministic bound
+    of Theorem 3.4 for a graph family with girth [ε·log_{Δr} n] and
+    size-loss exponent [c]. *)
+
+val theorem_34_rand :
+  k:int -> eps:float -> c:float -> delta:int -> r:int -> n:float -> float
+(** Same with [n] replaced by [sqrt ((log₂ n) / 3)] via Lemma C.2. *)
+
+val corollary_35_det :
+  k:int -> eps:float -> c:float -> delta:int -> r:int -> n:float -> float
+
+val corollary_35_rand :
+  k:int -> eps:float -> c:float -> delta:int -> r:int -> n:float -> float
+(** Hypergraph versions: [min {k, …}] and the cube-root size from
+    Theorem C.3. *)

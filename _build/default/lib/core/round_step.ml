@@ -1,0 +1,208 @@
+open Slocal_graph
+open Slocal_formalism
+open Slocal_model
+module Bitset = Slocal_util.Bitset
+
+(* Collate one side's outputs into an input-graph labeling and check a
+   problem on it. *)
+let outputs_solve support marks outputs problem =
+  let inst = Supported.instance support marks in
+  match Supported.labeling_of_outputs inst outputs with
+  | None -> false
+  | Some labeling ->
+      let g = Bipartite.graph support in
+      let kept = ref [] in
+      for e = Graph.m g - 1 downto 0 do
+        if marks.(e) then kept := e :: !kept
+      done;
+      let kept = Array.of_list !kept in
+      let sub =
+        Graph.create ~n:(Graph.n g)
+          (List.map (Graph.edge g) (Array.to_list kept))
+      in
+      let colors = Array.init (Graph.n g) (fun v -> Bipartite.color support v) in
+      let input_bip = Bipartite.make sub colors in
+      Checker.is_solution input_bip problem
+        (Array.map (fun e -> labeling.(e)) kept)
+
+(* The instance class of the executable lemma: spanning subgraphs with
+   both degree caps, and the side that will produce the outputs having
+   input degree either 0 or its full cap.  On partial-degree output
+   nodes the proof's Ĝ-combination argument does not constrain the
+   collected label sets, so they need not embed into the lifted
+   alphabet; on this class the construction is airtight. *)
+let full_or_zero g inst nodes full =
+  List.for_all
+    (fun v ->
+      let d =
+        List.length
+          (List.filter (fun e -> inst.Supported.marks.(e)) (Graph.incident g v))
+      in
+      d = 0 || d = full)
+    nodes
+
+let instances_full_on side support ~d_in_white ~d_in_black =
+  let g = Bipartite.graph support in
+  Supported.all_instances support ~max_white:d_in_white ~max_black:d_in_black
+  |> List.filter (fun inst ->
+         match side with
+         | `Black -> full_or_zero g inst (Bipartite.blacks support) d_in_black
+         | `White -> full_or_zero g inst (Bipartite.whites support) d_in_white
+         | `Both ->
+             full_or_zero g inst (Bipartite.blacks support) d_in_black
+             && full_or_zero g inst (Bipartite.whites support) d_in_white)
+
+let solves_r ?(both_full = false) ~support ~r_problem ~d_in_white ~d_in_black
+    algo =
+  List.for_all
+    (fun inst ->
+      outputs_solve support inst.Supported.marks
+        (Supported.run_black algo inst)
+        r_problem)
+    (instances_full_on
+       (if both_full then `Both else `Black)
+       support ~d_in_white ~d_in_black)
+
+let solves_r_bar ?(both_full = false) ~support ~r_problem ~d_in_white
+    ~d_in_black algo =
+  List.for_all
+    (fun inst ->
+      outputs_solve support inst.Supported.marks
+        (Supported.run_white algo inst)
+        r_problem)
+    (instances_full_on
+       (if both_full then `Both else `White)
+       support ~d_in_white ~d_in_black)
+
+(* The shared Lemma B.1 engine.  [to_side] is the side that computes
+   the new outputs; the input algorithm runs on the opposite side. *)
+let eliminate_core ?(both_full = false) ~to_side ~support ~problem
+    ~d_in_white ~d_in_black algorithm =
+  let g = Bipartite.graph support in
+  if Graph.m g > 20 then
+    invalid_arg "Round_step.eliminate: support too large for enumeration";
+  if d_in_white <> Problem.d_white problem then
+    invalid_arg "Round_step.eliminate: d_in_white mismatch";
+  if d_in_black <> Problem.d_black problem then
+    invalid_arg "Round_step.eliminate: d_in_black mismatch";
+  let grounding, strong_constr, strong_arity, run_input =
+    match to_side with
+    | `Black ->
+        ( Re_step.r_black problem,
+          problem.Problem.black,
+          d_in_black,
+          (* Inputs come from the white side. *)
+          fun inst -> Supported.run_white algorithm inst )
+    | `White ->
+        ( Re_step.r_white problem,
+          problem.Problem.white,
+          d_in_white,
+          fun inst -> Supported.run_black algorithm inst )
+  in
+  let sigma = Alphabet.size problem.Problem.alphabet in
+  let label_of_set =
+    let tbl = Hashtbl.create 32 in
+    Array.iteri (fun i s -> Hashtbl.replace tbl s i) grounding.Re_step.meaning;
+    fun s -> Hashtbl.find_opt tbl s
+  in
+  let instances =
+    instances_full_on
+      (if both_full then `Both
+       else (to_side :> [ `Black | `White | `Both ]))
+      support ~d_in_white ~d_in_black
+  in
+  let t = algorithm.Supported.rounds in
+  let out_rounds = max 0 (t - 1) in
+  let output view =
+    let my_edges = View.center_input_edges view in
+    if my_edges = [] then []
+    else begin
+      (* Instances indistinguishable from the actual one within the
+         radius-(T-1) view. *)
+      let agreeing =
+        List.filter
+          (fun inst ->
+            List.for_all
+              (fun e ->
+                match View.mark view e with
+                | None -> true
+                | Some m -> inst.Supported.marks.(e) = m)
+              (View.visible_edges view))
+          instances
+      in
+      (* L_e: the labels the input algorithm may output on e across the
+         agreeing instances.  The outputs on e come from e's endpoint
+         on the opposite side, read off a full run. *)
+      let collect e =
+        List.fold_left
+          (fun acc inst ->
+            if not inst.Supported.marks.(e) then acc
+            else begin
+              let outputs = run_input inst in
+              let u, w = Graph.edge g e in
+              let lab =
+                match
+                  (List.assoc_opt e outputs.(u), List.assoc_opt e outputs.(w))
+                with
+                | Some l, _ | _, Some l -> Some l
+                | None, None -> None
+              in
+              match lab with Some l -> Bitset.add l acc | None -> acc
+            end)
+          Bitset.empty agreeing
+      in
+      let base_sets = List.map collect my_edges in
+      (* Position-wise maximal extension keeping all choices inside the
+         strong-side constraint (property (3) of Lemma B.1).  The
+         predicate is antitone in the sets, so one fixed-order pass
+         suffices. *)
+      let y = List.length my_edges in
+      let good sets =
+        let lists = List.map Bitset.to_list sets in
+        if y = strong_arity then Constr.for_all_choices lists strong_constr
+        else Constr.for_all_choices_partial lists strong_constr
+      in
+      let extend sets =
+        let arr = Array.of_list sets in
+        for i = 0 to y - 1 do
+          for l = 0 to sigma - 1 do
+            if not (Bitset.mem l arr.(i)) then begin
+              let saved = arr.(i) in
+              arr.(i) <- Bitset.add l arr.(i);
+              if not (good (Array.to_list arr)) then arr.(i) <- saved
+            end
+          done
+        done;
+        Array.to_list arr
+      in
+      let final_sets = if good base_sets then extend base_sets else base_sets in
+      (* Translate to the lifted labels; position-wise maximal good
+         tuples consist of Σ' sets whenever y equals the strong arity,
+         otherwise fall back to any Σ' superset. *)
+      let translate s =
+        match label_of_set s with
+        | Some l -> l
+        | None -> (
+            let candidates =
+              Array.to_list
+                (Array.mapi (fun i m -> (i, m)) grounding.Re_step.meaning)
+            in
+            match
+              List.filter (fun (_, m) -> Bitset.subset s m) candidates
+            with
+            | (l, _) :: _ -> l
+            | [] -> 0)
+      in
+      List.map2 (fun e s -> (e, translate s)) my_edges final_sets
+    end
+  in
+  (grounding, { Supported.rounds = out_rounds; output })
+
+let eliminate ?both_full ~support ~problem ~d_in_white ~d_in_black algorithm =
+  eliminate_core ?both_full ~to_side:`Black ~support ~problem ~d_in_white
+    ~d_in_black algorithm
+
+let eliminate_black ?both_full ~support ~problem ~d_in_white ~d_in_black
+    algorithm =
+  eliminate_core ?both_full ~to_side:`White ~support ~problem ~d_in_white
+    ~d_in_black algorithm

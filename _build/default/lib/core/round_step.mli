@@ -1,0 +1,84 @@
+(** Lemma B.1, executable: one round elimination step applied to a
+    concrete algorithm.
+
+    Given a correct [T]-round white algorithm [A] for [Π] on a support
+    graph of girth at least [2T + 4], the lemma constructs a
+    [(T-1)]-round black algorithm [A*] for [R(Π)]: each black node
+    collects the set [L_e] of labels that [A] could output on each of
+    its incident input edges across all instances indistinguishable
+    within its radius-[T-1] view, extends the tuple [(L_{e_1}, …)] to a
+    position-wise maximal one all whose choices lie in [C_B], and
+    outputs the corresponding labels of [R(Π)].
+
+    This module implements that construction literally (enumerating the
+    indistinguishable instances, which confines it to small supports)
+    so that the engine of Appendix B — not merely its round arithmetic
+    — can be run and checked on concrete instances. *)
+
+open Slocal_graph
+open Slocal_formalism
+open Slocal_model
+
+val eliminate :
+  ?both_full:bool ->
+  support:Bipartite.t ->
+  problem:Problem.t ->
+  d_in_white:int ->
+  d_in_black:int ->
+  Supported.white_algorithm ->
+  Re_step.grounding * Supported.white_algorithm
+(** [eliminate ~support ~problem ~d_in_white ~d_in_black algorithm]
+    returns [R(Π)] (with its label meanings) and the derived black
+    algorithm, with [rounds = max 0 (T - 1)].  The construction
+    enumerates all input instances, so the support must have at most 20
+    edges.  The instance class is restricted to spanning subgraphs with
+    black degree 0 or exactly [d_in_black] — on partial-degree black
+    nodes the proof's Ĝ-combination argument does not constrain the
+    collected label sets, and they need not embed into the labels of
+    [R(Π)].  Correctness of the result presupposes correctness of the
+    input algorithm on that class and sufficient girth (≥ 2T+4); both
+    are the caller's responsibility — use {!solves_r} to check the
+    output.
+    @raise Invalid_argument if the support is too large or arities
+    mismatch. *)
+
+val eliminate_black :
+  ?both_full:bool ->
+  support:Bipartite.t ->
+  problem:Problem.t ->
+  d_in_white:int ->
+  d_in_black:int ->
+  Supported.white_algorithm ->
+  Re_step.grounding * Supported.white_algorithm
+(** The symmetric direction of Lemma B.1: from a [T]-round {e black}
+    algorithm for [Π] to a [(T-1)]-round {e white} algorithm for
+    [R̄(Π)].  The instance class restricts white degrees to 0 or
+    [d_in_white].  Chaining {!eliminate} and {!eliminate_black} turns a
+    [T]-round white algorithm for [Π] into a [(T-2)]-round white
+    algorithm for [RE(Π) = R̄(R(Π))] — the full round elimination step,
+    executed on algorithms.  When chaining, pass [~both_full:true] to
+    every call so that both steps quantify over the same instance class
+    (both sides restricted to input degree 0 or full). *)
+
+val solves_r :
+  ?both_full:bool ->
+  support:Bipartite.t ->
+  r_problem:Problem.t ->
+  d_in_white:int ->
+  d_in_black:int ->
+  Supported.white_algorithm ->
+  bool
+(** Run a black algorithm on every instance of the restricted class
+    (black degrees 0 or [d_in_black]) and check that the collated
+    labelings satisfy [R(Π)]. *)
+
+val solves_r_bar :
+  ?both_full:bool ->
+  support:Bipartite.t ->
+  r_problem:Problem.t ->
+  d_in_white:int ->
+  d_in_black:int ->
+  Supported.white_algorithm ->
+  bool
+(** The white-side counterpart of {!solves_r}, over the class with
+    white degrees 0 or [d_in_white]. *)

@@ -1,0 +1,1 @@
+lib/formalism/alphabet.ml: Array Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/formalism/alphabet.mli: Format

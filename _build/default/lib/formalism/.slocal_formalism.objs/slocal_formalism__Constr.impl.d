@@ -1,0 +1,1 @@
+lib/formalism/constr.ml: Alphabet Array Format List Set Slocal_util

@@ -1,0 +1,1 @@
+lib/formalism/constr.mli: Alphabet Format Set Slocal_util

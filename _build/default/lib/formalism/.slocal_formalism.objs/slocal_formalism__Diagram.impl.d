@@ -1,0 +1,1 @@
+lib/formalism/diagram.ml: Alphabet Array Constr Format List Problem Slocal_util

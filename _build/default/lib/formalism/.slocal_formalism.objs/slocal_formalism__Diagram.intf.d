@@ -1,0 +1,1 @@
+lib/formalism/diagram.mli: Alphabet Constr Format Problem Slocal_util

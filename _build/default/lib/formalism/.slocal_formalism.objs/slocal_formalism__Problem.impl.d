@@ -1,0 +1,1 @@
+lib/formalism/problem.ml: Alphabet Array Buffer Constr Format List Option Printf Slocal_util String

@@ -1,0 +1,1 @@
+lib/formalism/problem.mli: Alphabet Constr Format Slocal_util

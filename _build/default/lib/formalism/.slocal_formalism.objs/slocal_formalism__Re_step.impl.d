@@ -1,0 +1,1 @@
+lib/formalism/re_step.ml: Alphabet Array Constr Diagram Hashtbl List Problem Slocal_util String

@@ -1,0 +1,1 @@
+lib/formalism/re_step.mli: Alphabet Constr Problem Slocal_util

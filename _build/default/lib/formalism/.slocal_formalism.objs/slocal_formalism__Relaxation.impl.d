@@ -1,0 +1,1 @@
+lib/formalism/relaxation.ml: Alphabet Array Constr Hashtbl List Problem Slocal_util

@@ -1,0 +1,1 @@
+lib/formalism/relaxation.mli: Problem Slocal_util

@@ -1,0 +1,1 @@
+lib/formalism/sequence.ml: List Re_step Relaxation

@@ -1,0 +1,1 @@
+lib/formalism/sequence.mli: Problem

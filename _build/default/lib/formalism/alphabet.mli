@@ -1,0 +1,28 @@
+(** Label alphabets.
+
+    A problem in the black-white formalism is a tuple [(Σ, C_W, C_B)]
+    over a finite label set Σ.  Internally labels are dense integers
+    [0 .. size-1]; the alphabet records the printable name of each
+    label.  Names must be non-empty and must not contain whitespace or
+    the reserved characters [\[ \] ^ ( )], which the problem parser
+    uses. *)
+
+type t
+
+val of_names : string list -> t
+(** @raise Invalid_argument on duplicate, empty, or malformed names. *)
+
+val size : t -> int
+val name : t -> int -> string
+val find : t -> string -> int option
+val find_exn : t -> string -> int
+val names : t -> string list
+val mem : t -> string -> bool
+
+val valid_name : string -> bool
+
+val equal : t -> t -> bool
+(** Same names in the same order. *)
+
+val pp_label : t -> Format.formatter -> int -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+module Multiset = Slocal_util.Multiset
+
+module Config_set = Set.Make (struct
+  type t = Multiset.t
+
+  let compare = Multiset.compare
+end)
+
+type t = {
+  arity : int;
+  configs : Config_set.t;
+  (* Downward closure by size, built lazily: down.(k) is the set of all
+     size-k sub-multisets of configurations. *)
+  mutable down : Config_set.t option array;
+}
+
+let make ~arity config_list =
+  List.iter
+    (fun c ->
+      if Multiset.size c <> arity then
+        invalid_arg "Constr.make: configuration has wrong size")
+    config_list;
+  {
+    arity;
+    configs = Config_set.of_list config_list;
+    down = Array.make (arity + 1) None;
+  }
+
+let arity t = t.arity
+let configs t = Config_set.elements t.configs
+let size t = Config_set.cardinal t.configs
+let mem c t = Config_set.mem c t.configs
+
+let down_closure t k =
+  match t.down.(k) with
+  | Some s -> s
+  | None ->
+      let s =
+        Config_set.fold
+          (fun c acc ->
+            List.fold_left
+              (fun acc sub -> Config_set.add sub acc)
+              acc
+              (Multiset.sub_multisets k c))
+          t.configs Config_set.empty
+      in
+      t.down.(k) <- Some s;
+      s
+
+let extendable partial t =
+  let k = Multiset.size partial in
+  if k > t.arity then false
+  else if k = t.arity then mem partial t
+  else Config_set.mem partial (down_closure t k)
+
+(* Quantified-choice tests.  Positions are processed one at a time; the
+   accumulated partial multiset is pruned through [extendable]. *)
+
+let exists_pick ~complete sets t =
+  let rec go acc = function
+    | [] -> complete acc
+    | set :: rest ->
+        List.exists
+          (fun l ->
+            let acc' = Multiset.add l acc in
+            extendable acc' t && go acc' rest)
+          set
+  in
+  go Multiset.empty sets
+
+let exists_choice sets t =
+  if List.length sets <> t.arity then invalid_arg "Constr.exists_choice: arity mismatch";
+  exists_pick ~complete:(fun acc -> mem acc t) sets t
+
+let for_all_choices sets t =
+  if List.length sets <> t.arity then invalid_arg "Constr.for_all_choices: arity mismatch";
+  (* A partial pick that is not extendable witnesses a violating full
+     pick (any completion of it), so the universal test may
+     short-circuit on it.  An empty position set makes the product
+     empty and the test vacuously true. *)
+  let rec go acc = function
+    | [] -> mem acc t
+    | set :: rest ->
+        List.for_all
+          (fun l ->
+            let acc' = Multiset.add l acc in
+            extendable acc' t && go acc' rest)
+          set
+  in
+  go Multiset.empty sets
+
+let exists_choice_partial sets t =
+  if List.length sets > t.arity then invalid_arg "Constr.exists_choice_partial";
+  exists_pick ~complete:(fun acc -> extendable acc t) sets t
+
+let for_all_choices_partial sets t =
+  if List.length sets > t.arity then invalid_arg "Constr.for_all_choices_partial";
+  let rec go acc = function
+    | [] -> extendable acc t
+    | set :: rest ->
+        List.for_all
+          (fun l ->
+            let acc' = Multiset.add l acc in
+            extendable acc' t && go acc' rest)
+          set
+  in
+  go Multiset.empty sets
+
+let labels_used t =
+  Config_set.fold
+    (fun c acc -> List.fold_left (fun acc l -> l :: acc) acc (Multiset.support c))
+    t.configs []
+  |> List.sort_uniq compare
+
+let map_labels f t =
+  make ~arity:t.arity
+    (List.map (fun c -> Multiset.map f c) (configs t))
+
+let equal a b = a.arity = b.arity && Config_set.equal a.configs b.configs
+let subset a b = Config_set.subset a.configs b.configs
+
+let pp alphabet fmt t =
+  let pp_config fmt c =
+    Multiset.pp (fun fmt l -> Alphabet.pp_label alphabet fmt l) fmt c
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    pp_config fmt (configs t)

@@ -1,0 +1,118 @@
+module Bitset = Slocal_util.Bitset
+module Multiset = Slocal_util.Multiset
+
+type t = {
+  size : int;
+  reach : Bitset.t array; (* reach.(y) = labels at least as strong as y, incl. y *)
+}
+
+(* Direct strength test from the definition: every configuration
+   containing y stays in C under replacing any positive number of
+   copies of y by x. *)
+let directly_stronger constr x y =
+  x = y
+  || List.for_all
+       (fun cfg ->
+         let k = Multiset.count y cfg in
+         if k = 0 then true
+         else begin
+           let ok = ref true in
+           let current = ref cfg in
+           for _ = 1 to k do
+             current := Multiset.add x (Multiset.remove y !current);
+             if not (Constr.mem !current constr) then ok := false
+           done;
+           !ok
+         end)
+       (Constr.configs constr)
+
+let of_constraint ~alphabet_size constr =
+  let n = alphabet_size in
+  let rel = Array.make_matrix n n false in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      rel.(y).(x) <- directly_stronger constr x y
+    done
+  done;
+  (* The relation is transitive by a replacement argument, but we take
+     the transitive closure anyway so that [reach] is reachability even
+     if a degenerate constraint breaks the argument. *)
+  for k = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if rel.(y).(k) then
+        for x = 0 to n - 1 do
+          if rel.(k).(x) then rel.(y).(x) <- true
+        done
+    done
+  done;
+  let reach =
+    Array.init n (fun y ->
+        let s = ref (Bitset.singleton y) in
+        for x = 0 to n - 1 do
+          if rel.(y).(x) then s := Bitset.add x !s
+        done;
+        !s)
+  in
+  { size = n; reach }
+
+let black p =
+  of_constraint ~alphabet_size:(Alphabet.size p.Problem.alphabet) p.Problem.black
+
+let white p =
+  of_constraint ~alphabet_size:(Alphabet.size p.Problem.alphabet) p.Problem.white
+
+let stronger d x y = Bitset.mem x d.reach.(y)
+let successors d y = d.reach.(y)
+
+let all_edges d =
+  let acc = ref [] in
+  for y = d.size - 1 downto 0 do
+    List.iter
+      (fun x -> if x <> y then acc := (y, x) :: !acc)
+      (List.rev (Bitset.to_list d.reach.(y)))
+  done;
+  !acc
+
+(* Drop edge (y, x) when some intermediate z gives y -> z -> x; in the
+   presence of strength-equivalent labels keep a representative edge. *)
+let edges d =
+  List.filter
+    (fun (y, x) ->
+      let equivalent a b = stronger d a b && stronger d b a in
+      if equivalent y x then
+        (* Keep only the orientation from the smaller label. *)
+        y < x
+      else
+        not
+          (List.exists
+             (fun z ->
+               z <> x && z <> y
+               && (not (equivalent z x))
+               && (not (equivalent z y))
+               && stronger d z y && stronger d x z)
+             (List.init d.size (fun i -> i))))
+    (all_edges d)
+
+let is_right_closed d s =
+  Bitset.for_all (fun l -> Bitset.subset d.reach.(l) s) s
+
+let right_closure d s =
+  Bitset.fold (fun l acc -> Bitset.union d.reach.(l) acc) s Bitset.empty
+
+let right_closed_sets d =
+  let universe = Bitset.full d.size in
+  Bitset.nonempty_subsets universe
+  |> List.filter (is_right_closed d)
+  |> List.sort (fun a b ->
+         compare
+           (Bitset.cardinal a, Bitset.to_list a)
+           (Bitset.cardinal b, Bitset.to_list b))
+
+let pp alphabet fmt d =
+  let pp_edge fmt (y, x) =
+    Format.fprintf fmt "%s -> %s" (Alphabet.name alphabet y)
+      (Alphabet.name alphabet x)
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    pp_edge fmt (edges d)

@@ -1,0 +1,142 @@
+module Bitset = Slocal_util.Bitset
+module Multiset = Slocal_util.Multiset
+
+type grounding = {
+  problem : Problem.t;
+  meaning : Bitset.t array;
+}
+
+(* Enumerate multisets of size [arity] over [candidates] (given as an
+   array, chosen with non-decreasing indices to avoid duplicates),
+   keeping those accepted by [full] and pruning prefixes rejected by
+   [partial]. *)
+let enumerate_set_configs ~candidates ~arity ~partial ~full =
+  let cands = Array.of_list candidates in
+  let k = Array.length cands in
+  let acc = ref [] in
+  let rec go start chosen depth =
+    if depth = arity then begin
+      let config = List.rev chosen in
+      if full config then acc := config :: !acc
+    end
+    else
+      for i = start to k - 1 do
+        let chosen' = cands.(i) :: chosen in
+        if partial (List.rev chosen') then go i chosen' (depth + 1)
+      done
+  in
+  go 0 [] 0;
+  List.rev !acc
+
+let sets_to_lists config = List.map Bitset.to_list config
+
+(* All choices over [config] lie in [constr] — with prefix pruning done
+   by the caller through [for_all_choices_partial]. *)
+let all_choices_in config constr =
+  Constr.for_all_choices (sets_to_lists config) constr
+
+let some_choice_in config constr =
+  Constr.exists_choice (sets_to_lists config) constr
+
+(* config [a] is dominated by [b]: a ≠ b and some alignment has
+   a_i ⊆ b_{φ(i)} for all i. *)
+let dominated a b =
+  a <> b
+  &&
+  let rec match_up a_rest b_rest =
+    match a_rest with
+    | [] -> true
+    | x :: a' ->
+        let rec try_pick seen = function
+          | [] -> false
+          | y :: b' ->
+              (Bitset.subset x y && match_up a' (List.rev_append seen b'))
+              || try_pick (y :: seen) b'
+        in
+        try_pick [] b_rest
+  in
+  match_up a b
+
+let maximal_good_configs ~candidates ~arity constr =
+  let good =
+    enumerate_set_configs ~candidates ~arity
+      ~partial:(fun cfg ->
+        Constr.for_all_choices_partial (sets_to_lists cfg) constr)
+      ~full:(fun cfg -> all_choices_in cfg constr)
+  in
+  List.filter (fun a -> not (List.exists (fun b -> dominated a b) good)) good
+
+(* Single-character member names concatenate unambiguously ("MX");
+   otherwise the set is wrapped as ⟨a,b,…⟩ so that nested set names
+   from iterated RE steps stay injective. *)
+let set_name alphabet s =
+  let names = List.map (Alphabet.name alphabet) (Bitset.to_list s) in
+  if List.for_all (fun n -> String.length n = 1) names then
+    String.concat "" names
+  else "\xe2\x9f\xa8" ^ String.concat "," names ^ "\xe2\x9f\xa9"
+
+(* Core of R: maximality on [strong] side, existence on [weak] side.
+   [strong_constr] keeps its arity; new labels are the sets appearing
+   in the maximal good configurations. *)
+let r_core ~name ~alphabet ~strong_constr ~weak_constr =
+  let diagram =
+    Diagram.of_constraint ~alphabet_size:(Alphabet.size alphabet) strong_constr
+  in
+  (* Maximal good configurations consist of right-closed sets (any good
+     configuration is dominated by its position-wise right closure). *)
+  let candidates = Diagram.right_closed_sets diagram in
+  let strong_configs =
+    maximal_good_configs ~candidates ~arity:(Constr.arity strong_constr)
+      strong_constr
+  in
+  if strong_configs = [] then
+    invalid_arg "Re_step: empty result constraint (problem is 0-round unsolvable everywhere)";
+  let sigma' =
+    List.concat strong_configs |> List.sort_uniq Bitset.compare
+  in
+  let meaning = Array.of_list sigma' in
+  let index =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i s -> Hashtbl.add tbl s i) meaning;
+    tbl
+  in
+  let alphabet' = Alphabet.of_names (List.map (set_name alphabet) sigma') in
+  let to_config sets =
+    Multiset.of_list (List.map (Hashtbl.find index) sets)
+  in
+  let weak_configs =
+    enumerate_set_configs ~candidates:sigma' ~arity:(Constr.arity weak_constr)
+      ~partial:(fun cfg ->
+        Constr.exists_choice_partial (sets_to_lists cfg) weak_constr)
+      ~full:(fun cfg -> some_choice_in cfg weak_constr)
+  in
+  let strong' =
+    Constr.make ~arity:(Constr.arity strong_constr)
+      (List.map to_config strong_configs)
+  in
+  let weak' =
+    Constr.make ~arity:(Constr.arity weak_constr)
+      (List.map to_config weak_configs)
+  in
+  (name, alphabet', strong', weak', meaning)
+
+let r_black (p : Problem.t) =
+  let name, alphabet, black, white, meaning =
+    r_core ~name:("R(" ^ p.Problem.name ^ ")") ~alphabet:p.Problem.alphabet
+      ~strong_constr:p.Problem.black ~weak_constr:p.Problem.white
+  in
+  { problem = Problem.make ~name ~alphabet ~white ~black; meaning }
+
+let r_white (p : Problem.t) =
+  let name, alphabet, white, black, meaning =
+    r_core ~name:("R̄(" ^ p.Problem.name ^ ")") ~alphabet:p.Problem.alphabet
+      ~strong_constr:p.Problem.white ~weak_constr:p.Problem.black
+  in
+  { problem = Problem.make ~name ~alphabet ~white ~black; meaning }
+
+let re p =
+  let step1 = r_black p in
+  let step2 = r_white step1.problem in
+  Problem.rename step2.problem ("RE(" ^ p.Problem.name ^ ")")
+
+let is_fixed_point p = Problem.equal_up_to_renaming (re p) p

@@ -1,0 +1,65 @@
+(** The round elimination operator (Appendix B of the paper).
+
+    [R(Π)] replaces the black constraint by the set of {e maximal}
+    configurations of label-{e sets} all whose choices lie in [C_B],
+    and the white constraint by the configurations of such sets
+    admitting {e some} choice in [C_W].  [R̄] is the same with the two
+    roles exchanged, and the full round elimination step is
+    [RE(Π) = R̄(R(Π))].
+
+    Lemma B.1: a [T]-round white algorithm for [Π] (on high-girth
+    support graphs, in Supported LOCAL) yields a [(T-1)]-round black
+    algorithm for [R(Π)]; symmetrically for [R̄]; hence a [T]-round
+    white algorithm for [Π] yields a [(T-2)]-round white algorithm for
+    [RE(Π)].
+
+    The labels of [R(Π)] are sets of labels of [Π].  This module
+    re-grounds them as fresh atomic labels and returns the {e meaning}
+    of each new label — the set of old labels it stands for — so that
+    steps can be chained. *)
+
+type grounding = {
+  problem : Problem.t;
+  meaning : Slocal_util.Bitset.t array;
+      (** [meaning.(l)] is the set of previous-alphabet labels that the
+          new label [l] denotes. *)
+}
+
+val r_black : Problem.t -> grounding
+(** The operator [R]: maximality on the black side, existence on the
+    white side. *)
+
+val r_white : Problem.t -> grounding
+(** The operator [R̄]: maximality on the white side, existence on the
+    black side. *)
+
+val re : Problem.t -> Problem.t
+(** [RE(Π) = R̄(R(Π))], with fresh atomic labels. *)
+
+val is_fixed_point : Problem.t -> bool
+(** Is [RE(Π)] equal to [Π] up to label renaming?  (E.g. Lemma 5.4:
+    [Π_Δ(k)] is a fixed point whenever [k <= Δ].) *)
+
+val enumerate_set_configs :
+  candidates:Slocal_util.Bitset.t list ->
+  arity:int ->
+  partial:(Slocal_util.Bitset.t list -> bool) ->
+  full:(Slocal_util.Bitset.t list -> bool) ->
+  Slocal_util.Bitset.t list list
+(** Enumerate multisets of size [arity] over [candidates] (results as
+    sorted-by-candidate-order lists), pruning any prefix rejected by
+    [partial] and keeping completions accepted by [full].  Shared by
+    the [R]/[R̄] operators and the lift construction. *)
+
+val set_name : Alphabet.t -> Slocal_util.Bitset.t -> string
+(** Printable name of a label set (concatenation for single-character
+    member names, ⟨a,b,…⟩ otherwise). *)
+
+val maximal_good_configs :
+  candidates:Slocal_util.Bitset.t list ->
+  arity:int ->
+  Constr.t ->
+  Slocal_util.Bitset.t list list
+(** Exposed for testing: the maximal multisets (given as sorted lists)
+    of candidate label-sets, of size [arity], all whose choices lie in
+    the given constraint. *)

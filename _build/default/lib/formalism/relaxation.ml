@@ -1,0 +1,115 @@
+module Multiset = Slocal_util.Multiset
+module Bitset = Slocal_util.Bitset
+module Combinat = Slocal_util.Combinat
+
+let check_label_map ~f (src : Problem.t) (dst : Problem.t) =
+  let whites_ok =
+    List.for_all
+      (fun c -> Constr.mem (Multiset.map f c) dst.Problem.white)
+      (Constr.configs src.Problem.white)
+  in
+  whites_ok
+  && begin
+       (* r(ℓ) = {f ℓ} for labels used in some white configuration of
+          src, and ∅ otherwise (making those black choices vacuous). *)
+       let used =
+         List.fold_left
+           (fun acc c ->
+             List.fold_left (fun acc l -> Bitset.add l acc) acc (Multiset.support c))
+           Bitset.empty
+           (Constr.configs src.Problem.white)
+       in
+       List.for_all
+         (fun c ->
+           let sets =
+             List.map
+               (fun l -> if Bitset.mem l used then [ f l ] else [])
+               (Multiset.to_list c)
+           in
+           Constr.for_all_choices sets dst.Problem.black)
+         (Constr.configs src.Problem.black)
+     end
+
+exception Budget_exceeded
+
+(* Candidate images for a white configuration [c] of [src]: ordered
+   tuples over Σ_dst whose multiset is in C_W(dst), deduplicated by
+   their contribution to [r] (the multiset of (source label, image)
+   pairs), since only that matters. *)
+let candidate_images (dst : Problem.t) c =
+  let positions = Multiset.to_list c in
+  let tuples =
+    List.concat_map
+      (fun img -> Combinat.permutations (Multiset.to_list img))
+      (Constr.configs dst.Problem.white)
+  in
+  let contribution tuple = List.sort compare (List.combine positions tuple) in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun tuple ->
+      let key = contribution tuple in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    tuples
+
+let search ?(max_nodes = 2_000_000) (src : Problem.t) (dst : Problem.t) =
+  (* Mismatched arities make a relaxation impossible — a decided
+     negative, not a budget failure. *)
+  if Constr.arity src.Problem.white <> Constr.arity dst.Problem.white then
+    Some None
+  else if Constr.arity src.Problem.black <> Constr.arity dst.Problem.black then
+    Some None
+  else begin
+    let white_configs = Constr.configs src.Problem.white in
+    let candidates = List.map (candidate_images dst) white_configs in
+    let n_src = Alphabet.size src.Problem.alphabet in
+    let r = Array.make n_src Bitset.empty in
+    let nodes = ref 0 in
+    let black_ok () =
+      List.for_all
+        (fun c ->
+          let sets = List.map (fun l -> Bitset.to_list r.(l)) (Multiset.to_list c) in
+          Constr.for_all_choices sets dst.Problem.black)
+        (Constr.configs src.Problem.black)
+    in
+    let assignment = Array.make (List.length white_configs) [] in
+    let rec go i cfgs cands =
+      incr nodes;
+      if !nodes > max_nodes then raise Budget_exceeded;
+      match (cfgs, cands) with
+      | [], [] -> true
+      | cfg :: cfgs', cand :: cands' ->
+          List.exists
+            (fun tuple ->
+              let saved = Array.copy r in
+              List.iter2
+                (fun l m -> r.(l) <- Bitset.add m r.(l))
+                (Multiset.to_list cfg) tuple;
+              let ok = black_ok () && go (i + 1) cfgs' cands' in
+              if ok then assignment.(i) <- tuple
+              else Array.blit saved 0 r 0 n_src;
+              ok)
+            cand
+      | _ -> assert false
+    in
+    match go 0 white_configs candidates with
+    | true ->
+        Some
+          (Some (List.mapi (fun i c -> (c, assignment.(i))) white_configs))
+    | false -> Some None
+    | exception Budget_exceeded -> None
+  end
+
+let exists ?max_nodes src dst =
+  match search ?max_nodes src dst with
+  | None -> None
+  | Some (Some _) -> Some true
+  | Some None -> Some false
+
+let witness ?max_nodes src dst =
+  match search ?max_nodes src dst with
+  | None -> None
+  | Some w -> w

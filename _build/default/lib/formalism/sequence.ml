@@ -1,0 +1,25 @@
+type step = {
+  index : int;
+  verified : bool option;
+}
+
+let check ?max_nodes problems =
+  let rec go index = function
+    | p :: (q :: _ as rest) ->
+        let verified = Relaxation.exists ?max_nodes (Re_step.re p) q in
+        { index; verified } :: go (index + 1) rest
+    | [ _ ] | [] -> []
+  in
+  go 1 problems
+
+let is_lower_bound_sequence ?max_nodes problems =
+  let steps = check ?max_nodes problems in
+  if List.exists (fun s -> s.verified = Some false) steps then Some false
+  else if List.exists (fun s -> s.verified = None) steps then None
+  else Some true
+
+let iterate_re p ~steps =
+  let rec go p i = if i = 0 then [ p ] else p :: go (Re_step.re p) (i - 1) in
+  go p steps
+
+let constant p ~k = List.init (k + 1) (fun _ -> p)

@@ -1,0 +1,29 @@
+(** Lower-bound sequences (Section 2).
+
+    A list [Π_0, …, Π_k] is a lower-bound sequence when each [Π_i] is a
+    relaxation of [RE(Π_{i-1})].  Theorem B.2 converts such a sequence,
+    plus 0-round unsolvability of [Π_k], into a round lower bound for
+    [Π_0].  This module builds and machine-checks sequences. *)
+
+type step = {
+  index : int;
+  verified : bool option;
+      (** [Some true]: relaxation verified; [Some false]: refuted;
+          [None]: search budget exhausted. *)
+}
+
+val check : ?max_nodes:int -> Problem.t list -> step list
+(** Verify every consecutive step of a candidate sequence.  An empty or
+    singleton list yields no steps. *)
+
+val is_lower_bound_sequence : ?max_nodes:int -> Problem.t list -> bool option
+(** [Some true] iff every step verifies; [Some false] if some step is
+    refuted; [None] if undecided within budget. *)
+
+val iterate_re : Problem.t -> steps:int -> Problem.t list
+(** [Π, RE(Π), RE²(Π), …] — always a lower-bound sequence (each problem
+    trivially relaxes itself, and is exactly [RE] of its predecessor). *)
+
+val constant : Problem.t -> k:int -> Problem.t list
+(** The fixed-point sequence [Π, Π, …, Π] of length [k+1]: a
+    lower-bound sequence whenever [Π] relaxes [RE(Π)]. *)

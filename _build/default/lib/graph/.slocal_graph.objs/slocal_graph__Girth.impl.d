@@ -1,0 +1,1 @@
+lib/graph/girth.ml: Array Graph Hashtbl List Queue

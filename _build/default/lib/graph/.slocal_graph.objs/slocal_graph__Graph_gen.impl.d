@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Array Bipartite Girth Graph Hashtbl Independence Int List Option Set Slocal_util

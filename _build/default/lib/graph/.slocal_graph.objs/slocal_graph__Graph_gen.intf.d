@@ -1,0 +1,1 @@
+lib/graph/graph_gen.mli: Bipartite Graph Slocal_util

@@ -1,0 +1,1 @@
+lib/graph/hypergraph.ml: Array Bipartite Format Girth Graph List

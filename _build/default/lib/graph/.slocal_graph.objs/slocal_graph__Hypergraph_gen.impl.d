@@ -1,0 +1,1 @@
+lib/graph/hypergraph_gen.ml: Array Bipartite Girth Graph Graph_gen Hypergraph List Slocal_util

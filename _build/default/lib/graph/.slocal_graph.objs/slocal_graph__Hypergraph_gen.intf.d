@@ -1,0 +1,1 @@
+lib/graph/hypergraph_gen.mli: Hypergraph Slocal_util

@@ -1,0 +1,1 @@
+lib/graph/independence.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graph/independence.mli: Graph

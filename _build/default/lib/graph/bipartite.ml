@@ -1,0 +1,96 @@
+type color = White | Black
+
+type t = {
+  graph : Graph.t;
+  colors : color array;
+}
+
+let make graph colors =
+  if Array.length colors <> Graph.n graph then
+    invalid_arg "Bipartite.make: color array size mismatch";
+  Array.iter
+    (fun (u, v) ->
+      if colors.(u) = colors.(v) then
+        invalid_arg "Bipartite.make: improper 2-coloring")
+    (Graph.edges graph);
+  { graph; colors }
+
+let graph t = t.graph
+let color t v = t.colors.(v)
+
+let side c t =
+  let acc = ref [] in
+  for v = Graph.n t.graph - 1 downto 0 do
+    if t.colors.(v) = c then acc := v :: !acc
+  done;
+  !acc
+
+let whites = side White
+let blacks = side Black
+let n t = Graph.n t.graph
+let m t = Graph.m t.graph
+
+let side_degree c t =
+  List.fold_left (fun acc v -> max acc (Graph.degree t.graph v)) 0 (side c t)
+
+let white_degree = side_degree White
+let black_degree = side_degree Black
+
+let is_biregular t ~dw ~db =
+  List.for_all (fun v -> Graph.degree t.graph v = dw) (whites t)
+  && List.for_all (fun v -> Graph.degree t.graph v = db) (blacks t)
+
+let of_sides ~nw ~nb edge_list =
+  let edges =
+    List.map
+      (fun (w, b) ->
+        if w < 0 || w >= nw || b < 0 || b >= nb then
+          invalid_arg "Bipartite.of_sides: index out of range";
+        (w, nw + b))
+      edge_list
+  in
+  let g = Graph.create ~n:(nw + nb) edges in
+  let colors = Array.init (nw + nb) (fun v -> if v < nw then White else Black) in
+  make g colors
+
+let double_cover g =
+  let n = Graph.n g in
+  let edges =
+    Array.to_list (Graph.edges g)
+    |> List.concat_map (fun (u, v) -> [ (u, n + v); (v, n + u) ])
+  in
+  let cover = Graph.create ~n:(2 * n) edges in
+  let colors = Array.init (2 * n) (fun v -> if v < n then White else Black) in
+  make cover colors
+
+let try_2_coloring g =
+  let n = Graph.n g in
+  let colors = Array.make n White in
+  let seen = Array.make n false in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if (not seen.(v)) && !ok then begin
+      seen.(v) <- true;
+      let q = Queue.create () in
+      Queue.push v q;
+      while (not (Queue.is_empty q)) && !ok do
+        let u = Queue.pop q in
+        List.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              colors.(w) <- (if colors.(u) = White then Black else White);
+              Queue.push w q
+            end
+            else if colors.(w) = colors.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  if !ok then Some colors else None
+
+let pp fmt t =
+  Format.fprintf fmt "bipartite(white=%d, black=%d, m=%d)"
+    (List.length (whites t))
+    (List.length (blacks t))
+    (m t)

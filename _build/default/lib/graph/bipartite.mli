@@ -1,0 +1,50 @@
+(** Properly 2-colored bipartite graphs.
+
+    The black-white formalism is solved on bipartite 2-colored graphs:
+    each vertex is either white or black, and every edge joins a white
+    vertex to a black one.  A bipartite graph here wraps a {!Graph.t}
+    with a color assignment and validates the coloring.
+
+    Hypergraph problems reduce to this case through incidence graphs
+    (see {!Hypergraph.incidence}). *)
+
+type color = White | Black
+
+type t
+
+val make : Graph.t -> color array -> t
+(** @raise Invalid_argument if the coloring is not proper. *)
+
+val graph : t -> Graph.t
+val color : t -> int -> color
+val whites : t -> int list
+val blacks : t -> int list
+
+val n : t -> int
+val m : t -> int
+val white_degree : t -> int
+(** Maximum degree over white vertices. *)
+
+val black_degree : t -> int
+val is_biregular : t -> dw:int -> db:int -> bool
+(** Every white vertex has degree [dw] and every black vertex degree
+    [db]. *)
+
+val of_sides : nw:int -> nb:int -> (int * int) list -> t
+(** [of_sides ~nw ~nb edges] builds a 2-colored graph where whites are
+    [0 .. nw-1], blacks are [nw .. nw+nb-1], and [edges] lists
+    (white-index, black-index) pairs with the black index in
+    [0 .. nb-1]. *)
+
+val double_cover : Graph.t -> t
+(** The bipartite double cover of [g]: white vertex [v] and black
+    vertex [v'] for each vertex [v] of [g], with edges [(u, v')] and
+    [(v, u')] for every edge [(u, v)] of [g].  If [g] is [d]-regular,
+    the cover is [(d, d)]-biregular; its girth is at least that of
+    [g]. *)
+
+val try_2_coloring : Graph.t -> color array option
+(** A proper 2-coloring if the graph is bipartite, [None] otherwise.
+    Isolated vertices are colored white. *)
+
+val pp : Format.formatter -> t -> unit

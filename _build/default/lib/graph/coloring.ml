@@ -1,0 +1,100 @@
+let greedy ?order g =
+  let n = Graph.n g in
+  let order = match order with Some o -> o | None -> List.init n (fun v -> v) in
+  let colors = Array.make n (-1) in
+  List.iter
+    (fun v ->
+      let used =
+        List.filter_map
+          (fun w -> if colors.(w) >= 0 then Some colors.(w) else None)
+          (Graph.neighbors g v)
+      in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      colors.(v) <- first_free 0)
+    order;
+  colors
+
+let degeneracy_order g =
+  let n = Graph.n g in
+  let deg = Array.init n (fun v -> Graph.degree g v) in
+  let alive = Array.make n true in
+  let removed = ref [] in
+  for _ = 1 to n do
+    let v = ref (-1) in
+    for u = 0 to n - 1 do
+      if alive.(u) && (!v = -1 || deg.(u) < deg.(!v)) then v := u
+    done;
+    alive.(!v) <- false;
+    List.iter (fun w -> if alive.(w) then deg.(w) <- deg.(w) - 1) (Graph.neighbors g !v);
+    removed := !v :: !removed
+  done;
+  !removed
+
+let degeneracy g =
+  let n = Graph.n g in
+  let deg = Array.init n (fun v -> Graph.degree g v) in
+  let alive = Array.make n true in
+  let d = ref 0 in
+  for _ = 1 to n do
+    let v = ref (-1) in
+    for u = 0 to n - 1 do
+      if alive.(u) && (!v = -1 || deg.(u) < deg.(!v)) then v := u
+    done;
+    d := max !d deg.(!v);
+    alive.(!v) <- false;
+    List.iter (fun w -> if alive.(w) then deg.(w) <- deg.(w) - 1) (Graph.neighbors g !v)
+  done;
+  !d
+
+let smallest_last g = greedy ~order:(degeneracy_order g) g
+
+let num_colors colors =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors
+
+let is_proper g colors =
+  Array.for_all (fun (u, v) -> colors.(u) <> colors.(v)) (Graph.edges g)
+
+exception Budget_exceeded
+exception Found
+
+let colorable_with ~budget g k =
+  let n = Graph.n g in
+  let colors = Array.make n (-1) in
+  let nodes = ref 0 in
+  (* Color vertices in degeneracy order reversed (high-impact first). *)
+  let order = Array.of_list (degeneracy_order g) in
+  let rec go i =
+    incr nodes;
+    if !nodes > budget then raise Budget_exceeded;
+    if i = n then raise Found;
+    let v = order.(i) in
+    (* Symmetry breaking: never use a color index larger than the
+       number of colors used so far. *)
+    let max_used =
+      Array.fold_left (fun acc c -> max acc c) (-1) colors
+    in
+    for c = 0 to min (k - 1) (max_used + 1) do
+      let conflict =
+        List.exists (fun w -> colors.(w) = c) (Graph.neighbors g v)
+      in
+      if not conflict then begin
+        colors.(v) <- c;
+        go (i + 1);
+        colors.(v) <- -1
+      end
+    done
+  in
+  match go 0 with () -> false | exception Found -> true
+
+let chromatic_number ?(max_nodes = 2_000_000) g =
+  if Graph.n g = 0 then Some 0
+  else begin
+    let ub = num_colors (smallest_last g) in
+    let rec search k =
+      if k >= ub then Some ub
+      else if colorable_with ~budget:max_nodes g k then Some k
+      else search (k + 1)
+    in
+    let lb = if Graph.m g > 0 then 2 else 1 in
+    try search lb with Budget_exceeded -> None
+  end

@@ -1,0 +1,27 @@
+(** Proper vertex colorings: greedy, degeneracy-order, and exact.
+
+    Support-graph colorings drive the upper-bound baselines: [AAPR23]'s
+    χ_G-round MIS processes the color classes of a coloring computed
+    from the support graph alone, and the [Δ/log Δ] caps in Theorems
+    1.6/1.7 come from the support graphs being [O(Δ/log Δ)]-colorable. *)
+
+val greedy : ?order:int list -> Graph.t -> int array
+(** First-fit coloring in the given vertex order (default [0..n-1]).
+    Colors are [0 ..]. *)
+
+val degeneracy_order : Graph.t -> int list
+(** A vertex order obtained by repeatedly removing a minimum-degree
+    vertex, listed in reverse removal order: greedy coloring along it
+    uses at most [degeneracy + 1] colors. *)
+
+val degeneracy : Graph.t -> int
+
+val smallest_last : Graph.t -> int array
+(** Greedy coloring along the degeneracy order. *)
+
+val num_colors : int array -> int
+val is_proper : Graph.t -> int array -> bool
+
+val chromatic_number : ?max_nodes:int -> Graph.t -> int option
+(** Exact chromatic number by iterative-deepening backtracking; [None]
+    if the budget of search-tree nodes is exceeded. *)

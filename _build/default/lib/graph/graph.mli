@@ -1,0 +1,59 @@
+(** Undirected simple graphs with stable edge identifiers.
+
+    The black-white formalism labels {e edges}, and the lift solver
+    assigns one label per edge, so edges are first-class: each edge has
+    an integer id, and incidence lists store edge ids rather than
+    neighbour ids.  Vertices are [0 .. n-1]. *)
+
+type t
+
+val create : n:int -> (int * int) list -> t
+(** [create ~n edges] builds a graph on [n] vertices.  Self-loops and
+    duplicate edges are rejected.  @raise Invalid_argument on a vertex
+    out of range, a self-loop, or a duplicate edge. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edge : t -> int -> int * int
+(** Endpoints of an edge id, as [(u, v)] with [u < v]. *)
+
+val edges : t -> (int * int) array
+val incident : t -> int -> int list
+(** Edge ids incident to a vertex. *)
+
+val neighbors : t -> int -> int list
+val other_end : t -> int -> int -> int
+(** [other_end g e v] is the endpoint of [e] different from [v]. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val min_degree : t -> int
+val is_regular : t -> int -> bool
+val mem_edge : t -> int -> int -> bool
+val find_edge : t -> int -> int -> int option
+(** Edge id joining two vertices, if present. *)
+
+val bfs_dist : t -> int -> int array
+(** Single-source distances; unreachable vertices get [max_int]. *)
+
+val ball : t -> int -> int -> int list
+(** [ball g v r] is the list of vertices at distance <= r from [v]. *)
+
+val is_connected : t -> bool
+val components : t -> int list list
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced by vertices [vs], together
+    with the map from new vertex ids to original ids. *)
+
+val spanning_subgraph : t -> keep:(int -> bool) -> t
+(** Subgraph on the same vertex set keeping edges whose id satisfies
+    [keep].  Edge ids are renumbered; use {!edge} to recover endpoints. *)
+
+val disjoint_union : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

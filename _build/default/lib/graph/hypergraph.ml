@@ -1,0 +1,93 @@
+type t = {
+  n : int;
+  hyperedges : int array array;
+  inc : int list array; (* hyperedge ids per vertex *)
+}
+
+let create ~n hyperedge_list =
+  if n < 0 then invalid_arg "Hypergraph.create: negative n";
+  let hyperedges =
+    List.map
+      (fun vs ->
+        if vs = [] then invalid_arg "Hypergraph.create: empty hyperedge";
+        let sorted = List.sort_uniq compare vs in
+        if List.length sorted <> List.length vs then
+          invalid_arg "Hypergraph.create: repeated vertex in hyperedge";
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n then
+              invalid_arg "Hypergraph.create: vertex out of range")
+          sorted;
+        Array.of_list sorted)
+      hyperedge_list
+    |> Array.of_list
+  in
+  let inc = Array.make n [] in
+  Array.iteri
+    (fun i he -> Array.iter (fun v -> inc.(v) <- i :: inc.(v)) he)
+    hyperedges;
+  for v = 0 to n - 1 do
+    inc.(v) <- List.rev inc.(v)
+  done;
+  { n; hyperedges; inc }
+
+let n h = h.n
+let num_edges h = Array.length h.hyperedges
+let hyperedge h i = Array.to_list h.hyperedges.(i)
+let degree h v = List.length h.inc.(v)
+
+let rank h =
+  Array.fold_left (fun acc he -> max acc (Array.length he)) 0 h.hyperedges
+
+let max_degree h =
+  let d = ref 0 in
+  for v = 0 to h.n - 1 do
+    d := max !d (degree h v)
+  done;
+  !d
+
+let is_regular h d =
+  let ok = ref true in
+  for v = 0 to h.n - 1 do
+    if degree h v <> d then ok := false
+  done;
+  !ok
+
+let is_uniform h r =
+  Array.for_all (fun he -> Array.length he = r) h.hyperedges
+
+let is_linear h =
+  let shared e1 e2 =
+    let s = Array.to_list e1 in
+    List.length (List.filter (fun v -> Array.mem v e2) s)
+  in
+  let ne = num_edges h in
+  let ok = ref true in
+  for i = 0 to ne - 1 do
+    for j = i + 1 to ne - 1 do
+      if shared h.hyperedges.(i) h.hyperedges.(j) > 1 then ok := false
+    done
+  done;
+  !ok
+
+let incidence h =
+  let ne = num_edges h in
+  let edges = ref [] in
+  Array.iteri
+    (fun i he -> Array.iter (fun v -> edges := (v, i) :: !edges) he)
+    h.hyperedges;
+  Bipartite.of_sides ~nw:h.n ~nb:ne (List.rev !edges)
+
+let of_graph g =
+  create ~n:(Graph.n g)
+    (Array.to_list (Graph.edges g) |> List.map (fun (u, v) -> [ u; v ]))
+
+let girth h =
+  let inc = incidence h in
+  match Girth.girth (Bipartite.graph inc) with
+  | None -> None
+  | Some g -> Some (g / 2)
+
+let pp fmt h =
+  Format.fprintf fmt "hypergraph(n=%d, edges=%d, rank=%d)" h.n (num_edges h)
+    (rank h)

@@ -1,0 +1,39 @@
+(** Hypergraphs and their incidence graphs.
+
+    Corollary 3.3 and Corollary B.3 of the paper reduce non-bipartite
+    solving on a hypergraph to bipartite solving on its incidence
+    graph: vertices become white nodes, hyperedges become black nodes.
+    Girth of a hypergraph is defined (following Appendix B) as half the
+    girth of its incidence graph. *)
+
+type t
+
+val create : n:int -> int list list -> t
+(** [create ~n hyperedges] builds a hypergraph on vertices [0 .. n-1].
+    Each hyperedge is a list of distinct vertices (at least one).
+    @raise Invalid_argument on out-of-range or repeated vertices. *)
+
+val n : t -> int
+val num_edges : t -> int
+val hyperedge : t -> int -> int list
+val degree : t -> int -> int
+val rank : t -> int
+(** Maximum hyperedge size. *)
+
+val max_degree : t -> int
+val is_regular : t -> int -> bool
+val is_uniform : t -> int -> bool
+val is_linear : t -> bool
+(** Every pair of hyperedges shares at most one vertex. *)
+
+val incidence : t -> Bipartite.t
+(** The 2-colored incidence graph: white node [v] per vertex, black
+    node per hyperedge, an edge for each (vertex, hyperedge) incidence. *)
+
+val of_graph : Graph.t -> t
+(** View a graph as a 2-uniform hypergraph. *)
+
+val girth : t -> int option
+(** Half the girth of the incidence graph; [None] if acyclic. *)
+
+val pp : Format.formatter -> t -> unit

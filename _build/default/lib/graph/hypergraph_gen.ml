@@ -1,0 +1,103 @@
+module Prng = Slocal_util.Prng
+
+let complete_3_uniform n =
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for c = b + 1 to n - 1 do
+        edges := [ a; b; c ] :: !edges
+      done
+    done
+  done;
+  Hypergraph.create ~n !edges
+
+let tight_cycle n r =
+  if r < 2 || r > n then invalid_arg "Hypergraph_gen.tight_cycle";
+  Hypergraph.create ~n
+    (List.init n (fun i -> List.init r (fun j -> (i + j) mod n)))
+
+(* Side-preserving double-edge swaps targeting short cycles of a
+   2-colored graph: replace (w1,b1),(w2,b2) by (w1,b2),(w2,b1). *)
+let improve_girth_bipartite rng bip ~min_girth ~max_steps =
+  let girth_of g = match Girth.girth g with None -> max_int | Some x -> x in
+  let colors v = Bipartite.color bip v in
+  let rec go g steps =
+    if steps = 0 || girth_of g >= min_girth then g
+    else
+      match Girth.shortest_cycle g with
+      | None -> g
+      | Some cyc ->
+          let cyc = Array.of_list cyc in
+          let k = Array.length cyc in
+          let i = Prng.int rng k in
+          let u = cyc.(i) and v = cyc.((i + 1) mod k) in
+          let w1, b1 = if colors u = Bipartite.White then (u, v) else (v, u) in
+          let m = Graph.m g in
+          let rec pick tries =
+            if tries = 0 then None
+            else begin
+              let e = Prng.int rng m in
+              let x, y = Graph.edge g e in
+              let w2, b2 =
+                if colors x = Bipartite.White then (x, y) else (y, x)
+              in
+              if
+                w2 = w1 || b2 = b1 || Graph.mem_edge g w1 b2
+                || Graph.mem_edge g w2 b1
+              then pick (tries - 1)
+              else Some (w2, b2)
+            end
+          in
+          (match pick 64 with
+          | None -> g
+          | Some (w2, b2) ->
+              let drop (a, b) =
+                let n1 = if a < b then (a, b) else (b, a) in
+                let o1 = if w1 < b1 then (w1, b1) else (b1, w1) in
+                let o2 = if w2 < b2 then (w2, b2) else (b2, w2) in
+                n1 <> o1 && n1 <> o2
+              in
+              let edges = Array.to_list (Graph.edges g) |> List.filter drop in
+              let g' =
+                Graph.create ~n:(Graph.n g) ((w1, b2) :: (w2, b1) :: edges)
+              in
+              go g' (steps - 1))
+  in
+  go (Bipartite.graph bip) max_steps
+
+let hypergraph_of_incidence ~n_vertices graph =
+  let num_edges = Graph.n graph - n_vertices in
+  Hypergraph.create ~n:n_vertices
+    (List.init num_edges (fun j -> Graph.neighbors graph (n_vertices + j)))
+
+let incidence_swap_girth rng h ~min_girth ~max_steps =
+  let inc = Hypergraph.incidence h in
+  let improved =
+    improve_girth_bipartite rng inc ~min_girth:(2 * min_girth) ~max_steps
+  in
+  (* Rewrap: the vertex side keeps its ids, blacks are hyperedges. *)
+  hypergraph_of_incidence ~n_vertices:(Hypergraph.n h) improved
+
+let random_regular_uniform rng ~n ~degree ~rank ?(require_linear = true) () =
+  if degree < 1 || rank < 2 then
+    invalid_arg "Hypergraph_gen.random_regular_uniform";
+  (* Round n up so that n·degree is a multiple of rank. *)
+  let n = ref n in
+  while !n * degree mod rank <> 0 do
+    incr n
+  done;
+  let n = !n in
+  let num_edges = n * degree / rank in
+  if rank > n then invalid_arg "random_regular_uniform: rank > n";
+  let incidence =
+    Graph_gen.random_biregular rng ~nw:n ~nb:num_edges ~dw:degree ~db:rank
+  in
+  let h = hypergraph_of_incidence ~n_vertices:n (Bipartite.graph incidence) in
+  if not require_linear then h
+  else begin
+    (* Linearity = no two hyperedges share two vertices = no 4-cycle in
+       the incidence graph = hypergraph girth >= 3. *)
+    let h = incidence_swap_girth rng h ~min_girth:3 ~max_steps:(50 * n) in
+    if Hypergraph.is_linear h then h
+    else failwith "random_regular_uniform: could not reach linearity"
+  end

@@ -1,0 +1,72 @@
+type t = {
+  size : int;
+  left_match : int array;
+  right_match : int array;
+}
+
+let max_matching ~n_left ~n_right ~adj =
+  let left_match = Array.make n_left (-1) in
+  let right_match = Array.make n_right (-1) in
+  let visited = Array.make n_right false in
+  let rec try_augment i =
+    List.exists
+      (fun j ->
+        if visited.(j) then false
+        else begin
+          visited.(j) <- true;
+          if right_match.(j) = -1 || try_augment right_match.(j) then begin
+            left_match.(i) <- j;
+            right_match.(j) <- i;
+            true
+          end
+          else false
+        end)
+      (adj i)
+  in
+  let size = ref 0 in
+  for i = 0 to n_left - 1 do
+    Array.fill visited 0 n_right false;
+    if try_augment i then incr size
+  done;
+  { size = !size; left_match; right_match }
+
+let is_left_perfect m =
+  Array.for_all (fun j -> j >= 0) m.left_match
+
+let hall_violator ~n_left ~n_right ~adj =
+  let m = max_matching ~n_left ~n_right ~adj in
+  if is_left_perfect m then None
+  else begin
+    (* Alternating BFS from unmatched left vertices: left via any edge,
+       right back via matching edges.  The reachable left set C
+       satisfies N(C) = reachable right set and |N(C)| = |C| - (number
+       of unmatched roots), hence |N(C)| < |C|. *)
+    let left_seen = Array.make n_left false in
+    let right_seen = Array.make n_right false in
+    let q = Queue.create () in
+    for i = 0 to n_left - 1 do
+      if m.left_match.(i) = -1 then begin
+        left_seen.(i) <- true;
+        Queue.push i q
+      end
+    done;
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      List.iter
+        (fun j ->
+          if not right_seen.(j) then begin
+            right_seen.(j) <- true;
+            let i' = m.right_match.(j) in
+            if i' >= 0 && not left_seen.(i') then begin
+              left_seen.(i') <- true;
+              Queue.push i' q
+            end
+          end)
+        (adj i)
+    done;
+    let violator = ref [] in
+    for i = n_left - 1 downto 0 do
+      if left_seen.(i) then violator := i :: !violator
+    done;
+    Some !violator
+  end

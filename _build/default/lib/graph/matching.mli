@@ -1,0 +1,27 @@
+(** Bipartite maximum matching and Hall violators.
+
+    Lemma 5.9 of the paper turns a solution of the lifted coloring
+    problem into a solution of [Π_Δ(k)] by building, at each node, a
+    bipartite "color availability" graph [H] and applying Hall's
+    marriage theorem: either [H] has a matching saturating the color
+    side — contradicting correctness — or a Hall violator [C] exists
+    and yields the node's configuration [ℓ(C)^{Δ-x} X^x].  This module
+    provides both the matching and the violator. *)
+
+type t = {
+  size : int;  (** Number of matched pairs. *)
+  left_match : int array;  (** [left_match.(i)] is the right partner of left [i], or -1. *)
+  right_match : int array;
+}
+
+val max_matching : n_left:int -> n_right:int -> adj:(int -> int list) -> t
+(** Maximum matching via augmenting paths (Kuhn's algorithm).
+    [adj i] lists the right-side neighbours of left vertex [i]. *)
+
+val is_left_perfect : t -> bool
+
+val hall_violator : n_left:int -> n_right:int -> adj:(int -> int list) -> int list option
+(** A set [C] of left vertices with [|N(C)| < |C|], if one exists
+    (i.e. iff no left-perfect matching exists).  The returned set is
+    the set of left vertices reachable by alternating paths from the
+    unmatched ones, which is a canonical violator. *)

@@ -1,0 +1,1 @@
+lib/model/algorithms.ml: Array Bipartite Coloring Graph Hashtbl List Option Queue Slocal_graph

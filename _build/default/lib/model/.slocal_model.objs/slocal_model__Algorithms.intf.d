@@ -1,0 +1,1 @@
+lib/model/algorithms.mli: Bipartite Graph Slocal_graph

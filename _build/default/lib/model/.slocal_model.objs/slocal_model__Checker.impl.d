@@ -1,0 +1,1 @@
+lib/model/checker.ml: Array Bipartite Constr Format Graph Hypergraph List Problem Slocal_formalism Slocal_graph Slocal_util

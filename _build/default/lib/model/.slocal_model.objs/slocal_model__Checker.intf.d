@@ -1,0 +1,1 @@
+lib/model/checker.mli: Bipartite Format Hypergraph Problem Slocal_formalism Slocal_graph

@@ -1,0 +1,1 @@
+lib/model/ids.ml: Array

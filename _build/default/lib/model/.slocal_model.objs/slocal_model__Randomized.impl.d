@@ -1,0 +1,1 @@
+lib/model/randomized.ml: Algorithms Array Graph List Slocal_graph Slocal_util

@@ -1,0 +1,1 @@
+lib/model/randomized.mli: Algorithms Graph Slocal_graph Slocal_util

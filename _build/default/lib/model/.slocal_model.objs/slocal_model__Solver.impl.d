@@ -1,0 +1,1 @@
+lib/model/solver.ml: Alphabet Array Bipartite Constr Graph Hypergraph List Problem Queue Slocal_formalism Slocal_graph Slocal_util

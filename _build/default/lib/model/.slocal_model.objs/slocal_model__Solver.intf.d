@@ -1,0 +1,1 @@
+lib/model/solver.mli: Bipartite Hypergraph Problem Slocal_formalism Slocal_graph

@@ -1,0 +1,1 @@
+lib/model/supported.ml: Array Bipartite Checker Graph List Slocal_graph View

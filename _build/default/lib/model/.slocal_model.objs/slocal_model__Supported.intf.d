@@ -1,0 +1,1 @@
+lib/model/supported.mli: Bipartite Graph Problem Slocal_formalism Slocal_graph View

@@ -1,0 +1,1 @@
+lib/model/view.ml: Array Bipartite Graph List Slocal_graph

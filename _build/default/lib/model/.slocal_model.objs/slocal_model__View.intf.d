@@ -1,0 +1,1 @@
+lib/model/view.mli: Bipartite Slocal_graph

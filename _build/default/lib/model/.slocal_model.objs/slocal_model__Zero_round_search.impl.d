@@ -1,0 +1,1 @@
+lib/model/zero_round_search.ml: Alphabet Array Bipartite Constr Graph Hashtbl List Problem Slocal_formalism Slocal_graph Slocal_util Supported View

@@ -1,0 +1,1 @@
+lib/model/zero_round_search.mli: Bipartite Hashtbl Problem Slocal_formalism Slocal_graph Supported

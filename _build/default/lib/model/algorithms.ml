@@ -1,0 +1,204 @@
+open Slocal_graph
+
+type instance = {
+  support : Graph.t;
+  marks : bool array;
+}
+
+let instance support marks =
+  if Array.length marks <> Graph.m support then
+    invalid_arg "Algorithms.instance: marks size mismatch";
+  { support; marks }
+
+let full support = { support; marks = Array.make (Graph.m support) true }
+
+let input_graph inst =
+  let kept = ref [] in
+  for e = Graph.m inst.support - 1 downto 0 do
+    if inst.marks.(e) then kept := e :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let g =
+    Graph.create ~n:(Graph.n inst.support)
+      (List.map (Graph.edge inst.support) (Array.to_list kept))
+  in
+  (g, kept)
+
+let input_neighbors inst v =
+  List.filter_map
+    (fun e ->
+      if inst.marks.(e) then Some (Graph.other_end inst.support e v) else None)
+    (Graph.incident inst.support v)
+
+let input_degree inst v = List.length (input_neighbors inst v)
+
+let max_input_degree inst =
+  let d = ref 0 in
+  for v = 0 to Graph.n inst.support - 1 do
+    d := max !d (input_degree inst v)
+  done;
+  !d
+
+let support_coloring inst = Coloring.smallest_last inst.support
+
+(* Sweep the support color classes: class [c] acts in round [c].  This
+   is the [AAPR23] χ_G-round schedule; each class is an independent set
+   of the support (hence of the input graph), so all its nodes can act
+   simultaneously on information already received. *)
+let sweep inst ~act =
+  let colors = support_coloring inst in
+  let num = Coloring.num_colors colors in
+  for c = 0 to num - 1 do
+    for v = 0 to Graph.n inst.support - 1 do
+      if colors.(v) = c then act v
+    done
+  done;
+  num
+
+let mis inst =
+  let n = Graph.n inst.support in
+  let in_mis = Array.make n false in
+  let rounds =
+    sweep inst ~act:(fun v ->
+        if not (List.exists (fun w -> in_mis.(w)) (input_neighbors inst v)) then
+          in_mis.(v) <- true)
+  in
+  (in_mis, rounds)
+
+let input_ball inst v beta =
+  (* Nodes within input-distance beta of v. *)
+  let n = Graph.n inst.support in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(v) <- 0;
+  Queue.push v q;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    acc := u :: !acc;
+    if dist.(u) < beta then
+      List.iter
+        (fun w ->
+          if dist.(w) = max_int then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.push w q
+          end)
+        (input_neighbors inst u)
+  done;
+  !acc
+
+let ruling_set inst ~beta =
+  if beta < 1 then invalid_arg "Algorithms.ruling_set: beta >= 1 required";
+  let n = Graph.n inst.support in
+  let in_set = Array.make n false in
+  let sweeps =
+    sweep inst ~act:(fun v ->
+        if not (List.exists (fun w -> in_set.(w)) (input_ball inst v beta)) then
+          in_set.(v) <- true)
+  in
+  (* Each class decision inspects a radius-beta input ball. *)
+  (in_set, sweeps * beta)
+
+let greedy_coloring inst =
+  let n = Graph.n inst.support in
+  let colors = Array.make n (-1) in
+  let rounds =
+    sweep inst ~act:(fun v ->
+        let used =
+          List.filter_map
+            (fun w -> if colors.(w) >= 0 then Some colors.(w) else None)
+            (input_neighbors inst v)
+        in
+        let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+        colors.(v) <- first_free 0)
+  in
+  (colors, rounds)
+
+let arbdefective_coloring inst ~alpha ~c =
+  if c < 1 then invalid_arg "Algorithms.arbdefective_coloring: c >= 1";
+  if (alpha + 1) * c < max_input_degree inst + 1 then
+    invalid_arg
+      "Algorithms.arbdefective_coloring: requires (alpha+1)*c >= Δ'+1";
+  let n = Graph.n inst.support in
+  let colors = Array.make n (-1) in
+  let rounds =
+    sweep inst ~act:(fun v ->
+        (* Pick the color used by the fewest already-colored input
+           neighbours; pigeonhole gives at most ⌊Δ'/c⌋ <= alpha. *)
+        let counts = Array.make c 0 in
+        List.iter
+          (fun w ->
+            if colors.(w) >= 0 then counts.(colors.(w)) <- counts.(colors.(w)) + 1)
+          (input_neighbors inst v);
+        let best = ref 0 in
+        for col = 1 to c - 1 do
+          if counts.(col) < counts.(!best) then best := col
+        done;
+        colors.(v) <- !best)
+  in
+  (* Orient monochromatic input edges toward the earlier-colored
+     endpoint (the one with the smaller support color); its outgoing
+     count is what the color choice bounded. *)
+  let support_colors = support_coloring inst in
+  let orientation = ref [] in
+  Array.iteri
+    (fun e (u, v) ->
+      if inst.marks.(e) && colors.(u) = colors.(v) then begin
+        let head = if support_colors.(u) < support_colors.(v) then u else v in
+        orientation := (e, head) :: !orientation
+      end)
+    (Graph.edges inst.support);
+  ((colors, List.rev !orientation), rounds)
+
+let bipartite_maximal_matching bip marks =
+  let g = Bipartite.graph bip in
+  if Array.length marks <> Graph.m g then
+    invalid_arg "bipartite_maximal_matching: marks size mismatch";
+  let matched_edge = Array.make (Graph.m g) false in
+  let matched_node = Array.make (Graph.n g) false in
+  (* Each white keeps a pointer into its list of input edges. *)
+  let prefs =
+    Array.init (Graph.n g) (fun v ->
+        if Bipartite.color bip v = Bipartite.White then
+          Array.of_list (List.filter (fun e -> marks.(e)) (Graph.incident g v))
+        else [||])
+  in
+  let pointer = Array.make (Graph.n g) 0 in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Proposal round. *)
+    let proposals = Hashtbl.create 16 in
+    List.iter
+      (fun v ->
+        if (not matched_node.(v)) && pointer.(v) < Array.length prefs.(v) then begin
+          let e = prefs.(v).(pointer.(v)) in
+          let b = Graph.other_end g e v in
+          if matched_node.(b) then begin
+            (* Rejected without a message exchange cost beyond this
+               round: advance. *)
+            pointer.(v) <- pointer.(v) + 1;
+            progress := true
+          end
+          else begin
+            let current = Option.value (Hashtbl.find_opt proposals b) ~default:[] in
+            Hashtbl.replace proposals b ((v, e) :: current);
+            progress := true
+          end
+        end)
+      (Bipartite.whites bip);
+    (* Acceptance round: each black accepts the smallest proposer. *)
+    Hashtbl.iter
+      (fun b props ->
+        match List.sort compare props with
+        | (v, e) :: rejected ->
+            matched_edge.(e) <- true;
+            matched_node.(v) <- true;
+            matched_node.(b) <- true;
+            List.iter (fun (v', _) -> pointer.(v') <- pointer.(v') + 1) rejected
+        | [] -> ())
+      proposals;
+    if !progress then rounds := !rounds + 2
+  done;
+  (matched_edge, !rounds)

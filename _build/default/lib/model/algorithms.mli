@@ -1,0 +1,61 @@
+(** Upper-bound baseline algorithms in the Supported LOCAL model.
+
+    These witness the tightness side of the paper's bounds:
+
+    - [AAPR23]'s observation that MIS is solvable in [χ_G] rounds when
+      the support graph [G] is known: color [G] without communication,
+      then sweep the color classes (one round each).  Theorem 1.7 shows
+      this is optimal for deterministic algorithms.
+    - The classic [O(Δ')]-round proposal algorithm for maximal matching
+      on 2-colored graphs, matched by Theorem 1.5.
+    - Class-by-class greedy [(Δ'+1)]-coloring of the input graph in
+      [χ_G] rounds, the upper bound that forces the [Δ/log Δ] caps of
+      Theorems 1.6/1.7.
+
+    All round counts are honest: each sweep step consumes one
+    communication round, and the returned count is the number of rounds
+    a LOCAL execution would take. *)
+
+open Slocal_graph
+
+type instance = {
+  support : Graph.t;
+  marks : bool array;  (** Which support edges belong to the input graph. *)
+}
+
+val instance : Graph.t -> bool array -> instance
+val full : Graph.t -> instance
+val input_graph : instance -> Graph.t * int array
+(** The input graph (same vertex set) plus the map from its edge ids to
+    support edge ids. *)
+
+val input_degree : instance -> int -> int
+val max_input_degree : instance -> int
+
+val support_coloring : instance -> int array
+(** A proper coloring of the support graph computed with 0 rounds of
+    communication (greedy along a degeneracy order of the support). *)
+
+val mis : instance -> bool array * int
+(** Maximal independent set of the input graph; returns membership and
+    the number of rounds used (= number of support colors swept). *)
+
+val ruling_set : instance -> beta:int -> bool array * int
+(** A (2, β)-ruling set of the input graph: independent, and every node
+    is within input-distance β of the set.  β = 1 is MIS.  Built by
+    sweeping color classes of a power of the support coloring. *)
+
+val greedy_coloring : instance -> int array * int
+(** Proper coloring of the input graph with at most
+    [max_input_degree + 1] colors, in support-chromatic-many rounds. *)
+
+val arbdefective_coloring : instance -> alpha:int -> c:int -> (int array * (int * int) list) * int
+(** An [α]-arbdefective [c]-coloring of the input graph: colors in
+    [0 .. c-1] plus an orientation (as a list of (edge id, chosen head)
+    pairs over monochromatic input edges) with out-degree at most [α].
+    Requires [(α+1)·c >= max_input_degree + 1].  Round count as for
+    {!greedy_coloring}. *)
+
+val bipartite_maximal_matching : Bipartite.t -> bool array -> bool array * int
+(** Proposal-based maximal matching on a 2-colored instance; returns
+    per-support-edge matching membership and rounds used (O(Δ')). *)

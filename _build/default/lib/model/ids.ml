@@ -1,0 +1,26 @@
+let normalize ids =
+  let n = Array.length ids in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  let ranks = Array.make n 0 in
+  Array.iteri (fun rank i -> ranks.(i) <- rank + 1) order;
+  (* Duplicate detection: adjacent equal values in sorted order. *)
+  for j = 1 to n - 1 do
+    if ids.(order.(j)) = ids.(order.(j - 1)) then
+      invalid_arg "Ids.normalize: duplicate identifier"
+  done;
+  ranks
+
+let is_canonical ids =
+  let n = Array.length ids in
+  let seen = Array.make (n + 1) false in
+  Array.for_all
+    (fun id ->
+      if id >= 1 && id <= n && not seen.(id) then begin
+        seen.(id) <- true;
+        true
+      end
+      else false)
+    ids
+
+let canonical n = Array.init n (fun i -> i + 1)

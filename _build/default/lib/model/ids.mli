@@ -1,0 +1,18 @@
+(** Identifier normalization (the Section 3 remark).
+
+    In Supported LOCAL every node knows the whole support graph with
+    its identifier assignment, so an ID assignment over an arbitrary
+    domain can be replaced, without communication, by its rank map into
+    [{1, …, n}].  This is why the instance counting of Lemma C.2 may
+    charge only [n!] ID assignments rather than [n^c·n], and why the
+    framework can assume the ID space is exactly [{1, …, n}]. *)
+
+val normalize : int array -> int array
+(** [normalize ids] maps each identifier to its rank (1-based) within
+    the assignment.  @raise Invalid_argument on duplicate IDs. *)
+
+val is_canonical : int array -> bool
+(** Is the assignment exactly a permutation of [{1, …, n}]? *)
+
+val canonical : int -> int array
+(** The identity assignment [1, …, n]. *)

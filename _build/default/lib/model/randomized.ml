@@ -1,0 +1,119 @@
+open Slocal_graph
+module Prng = Slocal_util.Prng
+
+let luby_mis rng inst =
+  let support = inst.Algorithms.support in
+  let n = Graph.n support in
+  let neighbors v =
+    List.filter_map
+      (fun e ->
+        if inst.Algorithms.marks.(e) then Some (Graph.other_end support e v)
+        else None)
+      (Graph.incident support v)
+  in
+  let in_mis = Array.make n false in
+  let decided = Array.make n false in
+  let rounds = ref 0 in
+  let remaining = ref n in
+  (* Isolated-in-input nodes join immediately (0 rounds, no exchange
+     needed). *)
+  for v = 0 to n - 1 do
+    if neighbors v = [] then begin
+      in_mis.(v) <- true;
+      decided.(v) <- true;
+      decr remaining
+    end
+  done;
+  while !remaining > 0 do
+    (* Round 1: exchange random priorities. *)
+    let priority = Array.init n (fun _ -> Prng.next rng) in
+    (* Local minima among undecided neighbours join. *)
+    let joins =
+      Array.init n (fun v ->
+          (not decided.(v))
+          && List.for_all
+               (fun w -> decided.(w) || priority.(v) < priority.(w))
+               (neighbors v))
+    in
+    (* Round 2: joiners announce; their neighbours drop out. *)
+    for v = 0 to n - 1 do
+      if joins.(v) then begin
+        in_mis.(v) <- true;
+        decided.(v) <- true;
+        decr remaining
+      end
+    done;
+    for v = 0 to n - 1 do
+      if not decided.(v) then
+        if List.exists (fun w -> in_mis.(w)) (neighbors v) then begin
+          decided.(v) <- true;
+          decr remaining
+        end
+    done;
+    rounds := !rounds + 2
+  done;
+  (in_mis, !rounds)
+
+type mis_stats = {
+  trials : int;
+  all_valid : bool;
+  min_rounds : int;
+  max_rounds : int;
+  mean_rounds : float;
+}
+
+let is_valid_mis inst in_mis =
+  let support = inst.Algorithms.support in
+  let input_neighbors v =
+    List.filter_map
+      (fun e ->
+        if inst.Algorithms.marks.(e) then Some (Graph.other_end support e v)
+        else None)
+      (Graph.incident support v)
+  in
+  let n = Graph.n support in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if in_mis.(v) then
+      List.iter (fun w -> if in_mis.(w) then ok := false) (input_neighbors v)
+    else if not (List.exists (fun w -> in_mis.(w)) (input_neighbors v)) then
+      ok := false
+  done;
+  !ok
+
+let luby_mis_stats ~seed ~trials inst =
+  let rng = Prng.create seed in
+  let all_valid = ref true in
+  let min_r = ref max_int and max_r = ref 0 and sum = ref 0 in
+  for _ = 1 to trials do
+    let stream = Prng.split rng in
+    let in_mis, rounds = luby_mis stream inst in
+    if not (is_valid_mis inst in_mis) then all_valid := false;
+    min_r := min !min_r rounds;
+    max_r := max !max_r rounds;
+    sum := !sum + rounds
+  done;
+  {
+    trials;
+    all_valid = !all_valid;
+    min_rounds = !min_r;
+    max_rounds = !max_r;
+    mean_rounds = float_of_int !sum /. float_of_int trials;
+  }
+
+let random_color_trial rng g ~c =
+  if c < 1 then invalid_arg "random_color_trial: c >= 1";
+  let colors = Array.init (Graph.n g) (fun _ -> Prng.int rng c) in
+  let proper =
+    Array.for_all (fun (u, v) -> colors.(u) <> colors.(v)) (Graph.edges g)
+  in
+  (colors, proper)
+
+let success_probability_estimate ~seed ~trials g ~c =
+  let rng = Prng.create seed in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let _, ok = random_color_trial rng g ~c in
+    if ok then incr successes
+  done;
+  float_of_int !successes /. float_of_int trials

@@ -1,0 +1,48 @@
+(** Randomized algorithms in the Supported LOCAL model.
+
+    The randomized side of the paper is Appendix C: randomized
+    complexity relates to deterministic complexity through instance
+    counting (Lemma C.2), and the concrete randomized lower bounds all
+    arrive via that lifting.  To make the comparison tangible this
+    module provides the classic randomized baselines, with honest round
+    counting and Monte-Carlo estimation of their success behaviour:
+
+    - {!luby_mis}: Luby's algorithm on the input graph — O(log n)
+      rounds with high probability, independent of the support
+      structure.  Contrast with the deterministic χ_G-round sweep of
+      {!Algorithms.mis}, which Theorem 1.7 proves optimal
+      deterministically: randomness beats the support-chromatic barrier,
+      exactly the gap Lemma C.2's instance-size blow-up accounts for.
+    - {!random_color_trial}: one-shot random c-coloring, the textbook
+      failure-probability example for union bounds over instances. *)
+
+open Slocal_graph
+
+val luby_mis :
+  Slocal_util.Prng.t -> Algorithms.instance -> bool array * int
+(** Luby's maximal independent set of the input graph.  Each phase
+    costs 2 communication rounds (exchange priorities; announce
+    joiners); the returned count is the total number of rounds. *)
+
+type mis_stats = {
+  trials : int;
+  all_valid : bool;
+  min_rounds : int;
+  max_rounds : int;
+  mean_rounds : float;
+}
+
+val luby_mis_stats :
+  seed:int -> trials:int -> Algorithms.instance -> mis_stats
+(** Monte-Carlo round statistics over independent runs. *)
+
+val random_color_trial :
+  Slocal_util.Prng.t -> Graph.t -> c:int -> int array * bool
+(** Every vertex picks a uniform color; returns the coloring and
+    whether it happens to be proper — success probability
+    [∏_{edges} (1 - 1/c)]-ish, the quantity union-bounded in the
+    Lemma C.2 proof sketch. *)
+
+val success_probability_estimate :
+  seed:int -> trials:int -> Graph.t -> c:int -> float
+(** Empirical success rate of {!random_color_trial}. *)

@@ -1,0 +1,124 @@
+open Slocal_graph
+open Slocal_formalism
+module Multiset = Slocal_util.Multiset
+
+type outcome =
+  | Solution of int array
+  | No_solution
+  | Budget_exceeded
+
+exception Budget
+exception Found
+
+(* Edge ordering: BFS over the graph so that consecutive variables
+   share nodes and pruning bites early. *)
+let edge_order g =
+  let m = Graph.m g in
+  let seen_edge = Array.make m false in
+  let seen_node = Array.make (Graph.n g) false in
+  let order = ref [] in
+  let q = Queue.create () in
+  for start = 0 to Graph.n g - 1 do
+    if not seen_node.(start) then begin
+      seen_node.(start) <- true;
+      Queue.push start q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun e ->
+            if not seen_edge.(e) then begin
+              seen_edge.(e) <- true;
+              order := e :: !order;
+              let w = Graph.other_end g e v in
+              if not seen_node.(w) then begin
+                seen_node.(w) <- true;
+                Queue.push w q
+              end
+            end)
+          (Graph.incident g v)
+      done
+    end
+  done;
+  Array.of_list (List.rev !order)
+
+let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
+    ~on_solution bip (p : Problem.t) =
+  let g = Bipartite.graph bip in
+  let m = Graph.m g in
+  let sigma = Alphabet.size p.Problem.alphabet in
+  let dw = Problem.d_white p and db = Problem.d_black p in
+  let constr_of v =
+    match Bipartite.color bip v with
+    | Bipartite.White -> if Graph.degree g v = dw then Some p.Problem.white else None
+    | Bipartite.Black -> if Graph.degree g v = db then Some p.Problem.black else None
+  in
+  let node_constr = Array.init (Graph.n g) constr_of in
+  (* Partial multiset of already-assigned incident labels per node. *)
+  let partial = Array.make (Graph.n g) Multiset.empty in
+  let labeling = Array.make m (-1) in
+  let order = edge_order g in
+  let nodes = ref 0 in
+  let rec assign i =
+    incr nodes;
+    if !nodes > max_nodes then raise Budget;
+    if i = m then on_solution labeling
+    else begin
+      let e = order.(i) in
+      let u, v = Graph.edge g e in
+      for l = 0 to sigma - 1 do
+        let ok_at w =
+          match node_constr.(w) with
+          | None -> true
+          | Some c ->
+              let part = Multiset.add l partial.(w) in
+              if forward_checking then Constr.extendable part c
+              else Multiset.size part < Constr.arity c || Constr.mem part c
+        in
+        if ok_at u && ok_at v then begin
+          labeling.(e) <- l;
+          partial.(u) <- Multiset.add l partial.(u);
+          partial.(v) <- Multiset.add l partial.(v);
+          assign (i + 1);
+          partial.(u) <- Multiset.remove l partial.(u);
+          partial.(v) <- Multiset.remove l partial.(v);
+          labeling.(e) <- -1
+        end
+      done
+    end
+  in
+  assign 0
+
+let solve ?max_nodes ?forward_checking bip p =
+  let result = ref No_solution in
+  match
+    generic_solve ?max_nodes ?forward_checking
+      ~on_solution:(fun labeling ->
+        result := Solution (Array.copy labeling);
+        raise Found)
+      bip p
+  with
+  | () -> !result
+  | exception Found -> !result
+  | exception Budget -> Budget_exceeded
+
+let solvable ?max_nodes bip p =
+  match solve ?max_nodes bip p with
+  | Solution _ -> Some true
+  | No_solution -> Some false
+  | Budget_exceeded -> None
+
+let count_solutions ?max_nodes ?(limit = max_int) bip p =
+  let count = ref 0 in
+  match
+    generic_solve ?max_nodes
+      ~on_solution:(fun _ ->
+        incr count;
+        if !count >= limit then raise Found)
+      bip p
+  with
+  | () -> Some !count
+  | exception Found -> Some !count
+  | exception Budget -> None
+
+let solve_non_bipartite ?max_nodes h p =
+  solve ?max_nodes (Hypergraph.incidence h) p

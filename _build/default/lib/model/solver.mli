@@ -1,0 +1,40 @@
+(** Exact existence solver for bipartite solutions.
+
+    The Supported LOCAL framework (Theorem 3.2) reduces 0-round
+    solvability to a purely existential question: does a given problem
+    admit a bipartite solution on a given 2-colored graph?  This module
+    answers that question exactly on concrete graphs, by backtracking
+    over edge labels with forward checking: at every node the partial
+    multiset of incident labels must remain extendable to a
+    configuration of the node's constraint (for nodes of exactly
+    constrained degree).
+
+    Used to certify the unsolvability side of the lower bounds on small
+    instances, and the solvability side on trees / low-girth graphs. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+type outcome =
+  | Solution of int array  (** A valid edge labeling. *)
+  | No_solution
+  | Budget_exceeded
+
+val solve : ?max_nodes:int -> ?forward_checking:bool -> Bipartite.t -> Problem.t -> outcome
+(** Search for a bipartite solution.  [max_nodes] bounds the number of
+    search-tree nodes (default 20_000_000).  [forward_checking]
+    (default [true]) enables the partial-multiset pruning; disabling it
+    is exposed for the ablation benchmark. *)
+
+val solvable : ?max_nodes:int -> Bipartite.t -> Problem.t -> bool option
+(** [Some true]/[Some false] when decided, [None] on budget. *)
+
+val count_solutions : ?max_nodes:int -> ?limit:int -> Bipartite.t -> Problem.t -> int option
+(** Number of solutions, stopping early at [limit] (default
+    [max_int]); [None] on budget. *)
+
+val solve_non_bipartite :
+  ?max_nodes:int -> Hypergraph.t -> Problem.t -> outcome
+(** Non-bipartite solving on a hypergraph, via its incidence graph.
+    The returned labeling indexes the incidence-graph edges in the
+    order produced by {!Slocal_graph.Hypergraph.incidence}. *)

@@ -1,0 +1,141 @@
+open Slocal_graph
+
+type instance = {
+  support : Bipartite.t;
+  marks : bool array;
+}
+
+let instance support marks =
+  if Array.length marks <> Graph.m (Bipartite.graph support) then
+    invalid_arg "Supported.instance: marks size mismatch";
+  { support; marks }
+
+let side_input_degree side inst =
+  let g = Bipartite.graph inst.support in
+  List.fold_left
+    (fun acc v ->
+      let d =
+        List.length (List.filter (fun e -> inst.marks.(e)) (Graph.incident g v))
+      in
+      max acc d)
+    0 (side inst.support)
+
+let input_white_degree = side_input_degree Bipartite.whites
+let input_black_degree = side_input_degree Bipartite.blacks
+
+let full_input support =
+  { support; marks = Array.make (Graph.m (Bipartite.graph support)) true }
+
+let sub_instance support ~keep =
+  {
+    support;
+    marks = Array.init (Graph.m (Bipartite.graph support)) keep;
+  }
+
+let all_instances support ~max_white ~max_black =
+  let g = Bipartite.graph support in
+  let m = Graph.m g in
+  if m > 20 then invalid_arg "Supported.all_instances: support too large";
+  let ok marks =
+    let deg_ok v limit =
+      List.length (List.filter (fun e -> marks.(e)) (Graph.incident g v)) <= limit
+    in
+    List.for_all (fun v -> deg_ok v max_white) (Bipartite.whites support)
+    && List.for_all (fun v -> deg_ok v max_black) (Bipartite.blacks support)
+  in
+  let acc = ref [] in
+  for mask = 0 to (1 lsl m) - 1 do
+    let marks = Array.init m (fun e -> (mask lsr e) land 1 = 1) in
+    if ok marks then acc := { support; marks } :: !acc
+  done;
+  List.rev !acc
+
+type white_algorithm = {
+  rounds : int;
+  output : View.t -> (int * int) list;
+}
+
+let run_side side algo inst =
+  let g = Bipartite.graph inst.support in
+  let nodes = side inst.support in
+  let outs =
+    List.map
+      (fun v ->
+        let view =
+          View.make ~support:inst.support ~marks:inst.marks ~center:v
+            ~radius:algo.rounds
+        in
+        algo.output view)
+      nodes
+  in
+  let by_node = Array.make (Graph.n g) [] in
+  List.iter2 (fun v out -> by_node.(v) <- out) nodes outs;
+  by_node
+
+let run_white algo inst = run_side Bipartite.whites algo inst
+let run_black algo inst = run_side Bipartite.blacks algo inst
+
+let labeling_of_outputs inst outputs =
+  let g = Bipartite.graph inst.support in
+  let labeling = Array.make (Graph.m g) (-1) in
+  let ok = ref true in
+  Array.iteri
+    (fun v outs ->
+      List.iter
+        (fun (e, l) ->
+          if e < 0 || e >= Graph.m g || not inst.marks.(e) then ok := false
+          else begin
+            let u, w = Graph.edge g e in
+            if u <> v && w <> v then ok := false
+            else if labeling.(e) >= 0 && labeling.(e) <> l then ok := false
+            else labeling.(e) <- l
+          end)
+        outs)
+    outputs;
+  for e = 0 to Graph.m g - 1 do
+    if inst.marks.(e) && labeling.(e) < 0 then ok := false
+  done;
+  if !ok then Some labeling else None
+
+(* The input graph as a 2-colored graph of its own, with the edge-id
+   translation back to support edge ids. *)
+let input_bipartite inst =
+  let g = Bipartite.graph inst.support in
+  let kept = ref [] in
+  for e = Graph.m g - 1 downto 0 do
+    if inst.marks.(e) then kept := e :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let sub = Graph.create ~n:(Graph.n g) (List.map (Graph.edge g) (Array.to_list kept)) in
+  let colors =
+    Array.init (Graph.n g) (fun v -> Bipartite.color inst.support v)
+  in
+  (Bipartite.make sub colors, kept)
+
+let solves algo inst problem =
+  match labeling_of_outputs inst (run_white algo inst) with
+  | None -> false
+  | Some labeling ->
+      let input_bip, kept = input_bipartite inst in
+      let sub_labeling = Array.map (fun e -> labeling.(e)) kept in
+      Checker.is_solution input_bip problem sub_labeling
+
+let synchronous ~graph ~init ~send ~recv ~stop ~max_rounds =
+  let n = Graph.n graph in
+  let states = Array.init n init in
+  let rounds = ref 0 in
+  let continue = ref (not (stop ~round:0 states)) in
+  while !continue && !rounds < max_rounds do
+    let messages = Array.init n (fun v -> send ~round:!rounds v states.(v)) in
+    let new_states =
+      Array.init n (fun v ->
+          let inbox =
+            List.map (fun w -> (w, messages.(w))) (Graph.neighbors graph v)
+          in
+          recv ~round:!rounds v states.(v) inbox)
+    in
+    Array.blit new_states 0 states 0 n;
+    incr rounds;
+    if stop ~round:!rounds states then continue := false
+  done;
+  (states, !rounds)

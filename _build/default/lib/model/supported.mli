@@ -1,0 +1,75 @@
+(** The Supported LOCAL execution model.
+
+    An instance is a support graph together with an input graph given
+    as edge marks (the input graph is a spanning subgraph of the
+    support; a node participates through its marked edges).  A white
+    algorithm with runtime [T] maps each white node's radius-[T] view
+    to labels for its incident input edges; the harness runs it on
+    every white node and checks the produced labeling. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+type instance = {
+  support : Bipartite.t;
+  marks : bool array;  (** [marks.(e)]: support edge [e] is in the input graph. *)
+}
+
+val instance : Bipartite.t -> bool array -> instance
+val input_white_degree : instance -> int
+(** Maximum input degree over white nodes. *)
+
+val input_black_degree : instance -> int
+
+val full_input : Bipartite.t -> instance
+(** The input graph equals the support graph. *)
+
+val sub_instance : Bipartite.t -> keep:(int -> bool) -> instance
+
+val all_instances : Bipartite.t -> max_white:int -> max_black:int -> instance list
+(** Every spanning-subgraph input with white input degree at most
+    [max_white] and black input degree at most [max_black].
+    Exponential in the number of edges — tiny supports only. *)
+
+type white_algorithm = {
+  rounds : int;
+  output : View.t -> (int * int) list;
+      (** Labels for the center's marked incident edges, as (edge id,
+          label) pairs.  The view has radius [rounds]. *)
+}
+
+val run_white : white_algorithm -> instance -> (int * int) list array
+(** Outputs per white node. *)
+
+val run_black : white_algorithm -> instance -> (int * int) list array
+(** The same runner with black nodes computing the outputs (a {e black
+    algorithm} in the paper's sense) — used by the executable Lemma B.1
+    step, where round elimination turns a T-round white algorithm into
+    a (T-1)-round black algorithm. *)
+
+val labeling_of_outputs : instance -> (int * int) list array -> int array option
+(** Collate white outputs into a labeling of the input edges (indexed
+    by support edge id; unmarked edges get label [-1], which checkers
+    treat through the degree rule since they only ever see input
+    subgraphs).  [None] if some marked edge received no label or two
+    different labels. *)
+
+val solves : white_algorithm -> instance -> Problem.t -> bool
+(** Run the algorithm and check that the induced labeling is a valid
+    bipartite solution of the problem {e on the input graph} (node
+    degrees are input degrees). *)
+
+(** Generic synchronous message passing over an arbitrary graph, used
+    by the upper-bound baseline algorithms.  Each round every node
+    broadcasts one message to all neighbours and updates its state on
+    the received multiset. *)
+val synchronous :
+  graph:Graph.t ->
+  init:(int -> 'state) ->
+  send:(round:int -> int -> 'state -> 'msg) ->
+  recv:(round:int -> int -> 'state -> (int * 'msg) list -> 'state) ->
+  stop:(round:int -> 'state array -> bool) ->
+  max_rounds:int ->
+  'state array * int
+(** Runs until [stop] or [max_rounds]; returns final states and number
+    of executed rounds.  [recv] receives (neighbour, message) pairs. *)

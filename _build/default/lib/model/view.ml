@@ -1,0 +1,42 @@
+open Slocal_graph
+
+type t = {
+  support : Bipartite.t;
+  marks : bool array;
+  center : int;
+  radius : int;
+  dist : int array;
+}
+
+let make ~support ~marks ~center ~radius =
+  let g = Bipartite.graph support in
+  if Array.length marks <> Graph.m g then
+    invalid_arg "View.make: marks size mismatch";
+  if center < 0 || center >= Graph.n g then invalid_arg "View.make: bad center";
+  if radius < 0 then invalid_arg "View.make: negative radius";
+  { support; marks; center; radius; dist = Graph.bfs_dist g center }
+
+let support t = t.support
+let center t = t.center
+let radius t = t.radius
+
+let edge_visible t e =
+  let u, v = Graph.edge (Bipartite.graph t.support) e in
+  t.dist.(u) <= t.radius || t.dist.(v) <= t.radius
+
+let mark t e = if edge_visible t e then Some t.marks.(e) else None
+
+let visible_edges t =
+  let g = Bipartite.graph t.support in
+  List.filter (edge_visible t) (List.init (Graph.m g) (fun e -> e))
+
+let input_degree t v =
+  let g = Bipartite.graph t.support in
+  let incident = Graph.incident g v in
+  if List.for_all (edge_visible t) incident then
+    Some (List.length (List.filter (fun e -> t.marks.(e)) incident))
+  else None
+
+let center_input_edges t =
+  let g = Bipartite.graph t.support in
+  List.filter (fun e -> t.marks.(e)) (Graph.incident g t.center)

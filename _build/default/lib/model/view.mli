@@ -1,0 +1,36 @@
+(** Radius-[T] views in the Supported LOCAL model.
+
+    In Supported LOCAL every node knows the whole support graph, the
+    identifiers, and the global parameters; the only information that
+    spreads at bounded speed is which edges belong to the input graph.
+    After [T] communication rounds, a node knows the input-membership
+    marks of every edge incident to a node within distance [T] of it.
+    A [View.t] packages exactly that visible information, so an
+    algorithm implemented against it is locality-correct by
+    construction. *)
+
+open Slocal_graph
+
+type t
+
+val make : support:Bipartite.t -> marks:bool array -> center:int -> radius:int -> t
+(** [marks.(e)] says whether support edge [e] is in the input graph.
+    @raise Invalid_argument on size mismatch. *)
+
+val support : t -> Bipartite.t
+val center : t -> int
+val radius : t -> int
+
+val mark : t -> int -> bool option
+(** The input mark of an edge, or [None] if the edge is outside the
+    view (no endpoint within distance [radius] of the center). *)
+
+val visible_edges : t -> int list
+(** Edge ids whose mark is visible. *)
+
+val input_degree : t -> int -> int option
+(** Input degree of a node, if all its incident edges are visible. *)
+
+val center_input_edges : t -> int list
+(** Input edges incident to the center (always visible, even at radius
+    0). *)

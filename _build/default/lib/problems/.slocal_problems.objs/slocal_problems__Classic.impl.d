@@ -1,0 +1,1 @@
+lib/problems/classic.ml: Array Coloring_family Graph Hashtbl List Printf Problem Ruling_family Slocal_formalism Slocal_graph String

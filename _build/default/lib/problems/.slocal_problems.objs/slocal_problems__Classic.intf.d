@@ -1,0 +1,1 @@
+lib/problems/classic.mli: Graph Problem Slocal_formalism Slocal_graph

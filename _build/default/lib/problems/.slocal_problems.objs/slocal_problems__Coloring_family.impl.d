@@ -1,0 +1,1 @@
+lib/problems/coloring_family.ml: Alphabet Array Char Constr Graph Hashtbl List Printf Problem Slocal_formalism Slocal_graph Slocal_util String

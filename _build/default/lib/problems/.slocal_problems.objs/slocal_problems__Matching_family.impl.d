@@ -1,0 +1,1 @@
+lib/problems/matching_family.ml: Alphabet Array Bipartite Graph List Printf Problem Slocal_formalism Slocal_graph

@@ -1,0 +1,1 @@
+lib/problems/matching_family.mli: Bipartite Graph Problem Slocal_formalism Slocal_graph

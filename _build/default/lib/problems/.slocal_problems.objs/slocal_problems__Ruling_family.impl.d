@@ -1,0 +1,1 @@
+lib/problems/ruling_family.ml: Alphabet Array Char Coloring_family Constr Graph Hashtbl List Printf Problem Queue Slocal_formalism Slocal_graph Slocal_util String

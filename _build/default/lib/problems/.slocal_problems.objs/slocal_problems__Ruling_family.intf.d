@@ -1,0 +1,1 @@
+lib/problems/ruling_family.mli: Graph Problem Slocal_formalism Slocal_graph

@@ -1,0 +1,38 @@
+(** Classic locally checkable problems as black-white encodings.
+
+    These are the special cases called out in Section 1.1: sinkless
+    orientation / sinkless coloring, proper c-coloring, and
+    (2,β)-ruling sets (β = 1 giving maximal independent set), all
+    expressible through the [Π_Δ(c,β)] family or directly. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+val sinkless_orientation : delta:int -> Problem.t
+(** On bipartite 2-colored graphs: every edge is oriented ([O] = away
+    from the white endpoint, [I] = towards it); white nodes of degree Δ
+    need an outgoing edge, black nodes of degree Δ need an incoming
+    one.  White: [O \[O I\]^{Δ-1}], black: [I \[I O\]^{Δ-1}]. *)
+
+val sinkless_coloring : delta:int -> Problem.t
+(** [Π_Δ(Δ)] with [α = Δ-1], [c = 1] (Section 1.1): the arbdefective
+    view of sinkless orientation, a round elimination fixed point. *)
+
+val coloring : delta:int -> c:int -> Problem.t
+(** Proper c-coloring on bipartite graphs: a white node outputs its
+    color on all incident edges ([ℓ_i^Δ]), a black node (playing the
+    edge role when the graph is an incidence graph) checks that the two
+    colors it sees differ.  Black arity 2. *)
+
+val mis_family : delta:int -> Problem.t
+(** [Π_Δ(1,1)]: α = 0, c = 1, β = 1 — the maximal independent set
+    member of the arbdefective colored ruling set family. *)
+
+val ruling_set_family : delta:int -> beta:int -> Problem.t
+(** [Π_Δ(1,β)]: the (2,β)-ruling set member of the family. *)
+
+val is_sinkless_orientation : Graph.t -> towards_head:(int * int) list -> bool
+(** Graph-side check: every edge oriented exactly once and every vertex
+    of degree >= 1 has at least one outgoing edge.  (Meaningful on
+    graphs of minimum degree >= 3 and high girth, where the problem is
+    non-trivial.) *)

@@ -1,0 +1,60 @@
+(** The arbdefective coloring family of Section 5.
+
+    [Π_Δ(c)] (Definition 5.2) has labels [X] and [ℓ(C)] for every
+    non-empty [C ⊆ {1..c}].  White (node) configurations are
+    [ℓ(C)^{Δ-x} X^x] with [x = |C|-1]; black (edge, arity 2)
+    configurations are [ℓ(C₁)ℓ(C₂)] for disjoint [C₁, C₂] and [X L] for
+    every label [L].  Lemma 5.3 ([BBKO22]): an α-arbdefective
+    c-coloring yields a solution of [Π_Δ((α+1)c)] in 0 rounds; Lemma
+    5.4: [Π_Δ(k)] is a round elimination fixed point whenever [k ≤ Δ].
+
+    Labels are named [X] and [C<digits>] (e.g. [C13] for
+    [ℓ({1,3})]); colors range over 1..9 at most, which is ample for
+    the experiments. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+val color_subsets : int -> int list list
+(** Non-empty subsets of [{1..c}], in bitmask order. *)
+
+val set_name : int list -> string
+(** The label name of [ℓ(C)] for a sorted color list: [C13] for
+    [{1,3}]. *)
+
+val pi : delta:int -> c:int -> Problem.t
+(** [Π_Δ(c)].  Requires [1 <= c <= 9] and [Δ >= 1].  Color sets with
+    [|C| - 1 > Δ] contribute no white configuration (they cannot fit),
+    but their labels exist. *)
+
+val color_set_label : Problem.t -> int list -> int
+(** The label index of [ℓ(C)] for a non-empty sorted color list [C]
+    (colors in 1..c). *)
+
+val label_x : Problem.t -> int
+val color_set_of_label : Problem.t -> int -> int list option
+(** [Some C] for [ℓ(C)], [None] for [X]. *)
+
+val is_arbdefective_coloring :
+  Graph.t ->
+  alpha:int ->
+  c:int ->
+  colors:int array ->
+  orientation:(int * int) list ->
+  bool
+(** Graph-side semantics: [colors.(v) ∈ 0..c-1]; [orientation] lists
+    (edge id, head vertex) for every monochromatic edge exactly once;
+    every vertex has at most [alpha] outgoing (tail-side) monochromatic
+    edges. *)
+
+val pi_solution_of_arbdefective :
+  Graph.t ->
+  alpha:int ->
+  c:int ->
+  colors:int array ->
+  orientation:(int * int) list ->
+  Problem.t * (int -> int -> int)
+(** The Lemma 5.3 conversion: from an α-arbdefective c-coloring of a
+    [Δ]-regular graph, a non-bipartite solution of [Π_Δ((α+1)c)] (as a
+    half-edge labeling [v -> e -> label] over the 2-uniform hypergraph
+    view of the graph, hyperedge ids in edge order). *)

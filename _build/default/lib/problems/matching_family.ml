@@ -1,0 +1,168 @@
+open Slocal_graph
+open Slocal_formalism
+
+let label_m = "M"
+let label_p = "P"
+let label_o = "O"
+let label_x = "X"
+let label_z = "Z"
+
+let pi ~delta ~x ~y =
+  if y < 1 || y > delta - 1 then invalid_arg "Matching_family.pi: need 1 <= y <= Δ-1";
+  if x < 0 || x > delta - y then invalid_arg "Matching_family.pi: need 0 <= x <= Δ-y";
+  let white =
+    Printf.sprintf "X^%d M O^%d | X^%d O^%d P^%d | X^%d Z O^%d" (y - 1)
+      (delta - y) y x
+      (delta - y - x)
+      y (delta - y - 1)
+  in
+  let black =
+    Printf.sprintf
+      "[M Z P O X]^%d [M X] [P O X]^%d | [M Z P O X]^%d [P O X]^%d [O X]^%d | \
+       [M Z P O X]^%d [X] [P O X]^%d"
+      (y - 1) (delta - y) y x
+      (delta - y - x)
+      y (delta - y - 1)
+  in
+  Problem.parse
+    ~name:(Printf.sprintf "pi_%d(%d,%d)" delta x y)
+    ~labels:[ label_m; label_z; label_p; label_o; label_x ]
+    ~white ~black
+
+let pi_last ~delta ~y = pi ~delta ~x:(delta - 1 - y) ~y
+
+let maximal_matching ~delta =
+  if delta < 2 then invalid_arg "Matching_family.maximal_matching: Δ >= 2";
+  Problem.parse
+    ~name:(Printf.sprintf "maximal-matching_%d" delta)
+    ~labels:[ label_m; label_o; label_p ]
+    ~white:(Printf.sprintf "M O^%d | P^%d" (delta - 1) delta)
+    ~black:(Printf.sprintf "M [O P]^%d | O^%d" (delta - 1) delta)
+
+let sequence_length ~delta' ~x ~y = ((delta' - x) / y) - 2
+
+let is_matching_solution bip labeling =
+  let g = Bipartite.graph bip in
+  let labels_of v = List.map (fun e -> labeling.(e)) (Graph.incident g v) in
+  (* Labels are indices into [M; O; P]. *)
+  let m = 0 and o = 1 and p = 2 in
+  let count l v = List.length (List.filter (fun l' -> l' = l) (labels_of v)) in
+  let all_nodes = List.init (Graph.n g) (fun v -> v) in
+  List.for_all (fun v -> count m v <= 1) all_nodes
+  && List.for_all
+       (fun v ->
+         match Bipartite.color bip v with
+         | Bipartite.White ->
+             (* Either matched (one M, rest O) or pointing (all P). *)
+             (count m v = 1 && count p v = 0) || count p v = Graph.degree g v
+         | Bipartite.Black ->
+             (* P-edges only at matched black nodes; O-only blacks are
+                surrounded by matched whites. *)
+             if count p v > 0 then count m v = 1
+             else
+               count m v = 1
+               || List.for_all
+                    (fun e ->
+                      labeling.(e) = o
+                      &&
+                      let w = Graph.other_end g e v in
+                      count m w = 1)
+                    (Graph.incident g v))
+       all_nodes
+
+let is_x_maximal_y_matching g ~delta ~x ~y ~in_matching =
+  if Array.length in_matching <> Graph.m g then
+    invalid_arg "is_x_maximal_y_matching: size mismatch";
+  let matched_degree v =
+    List.length (List.filter (fun e -> in_matching.(e)) (Graph.incident g v))
+  in
+  let nodes = List.init (Graph.n g) (fun v -> v) in
+  List.for_all (fun v -> matched_degree v <= y) nodes
+  && List.for_all
+       (fun v ->
+         matched_degree v > 0
+         ||
+         let covered_neighbors =
+           List.filter
+             (fun w -> matched_degree w > 0)
+             (Graph.neighbors g v)
+         in
+         List.length covered_neighbors >= min (Graph.degree g v) (delta - x))
+       nodes
+
+let greedy_x_maximal_y_matching g ~y =
+  let n = Graph.n g in
+  let matched_deg = Array.make n 0 in
+  let in_matching = Array.make (Graph.m g) false in
+  Array.iteri
+    (fun e (u, v) ->
+      if matched_deg.(u) < y && matched_deg.(v) < y then begin
+        in_matching.(e) <- true;
+        matched_deg.(u) <- matched_deg.(u) + 1;
+        matched_deg.(v) <- matched_deg.(v) + 1
+      end)
+    (Graph.edges g);
+  in_matching
+
+
+let pi_solution_of_matching bip ~delta ~x ~y ~in_matching =
+  let g = Bipartite.graph bip in
+  if not (is_x_maximal_y_matching g ~delta ~x ~y ~in_matching) then
+    invalid_arg "pi_solution_of_matching: not an x-maximal y-matching";
+  let problem = pi ~delta ~x ~y in
+  let m_lab = Alphabet.find_exn problem.Problem.alphabet label_m in
+  let o_lab = Alphabet.find_exn problem.Problem.alphabet label_o in
+  let p_lab = Alphabet.find_exn problem.Problem.alphabet label_p in
+  let x_lab = Alphabet.find_exn problem.Problem.alphabet label_x in
+  let matched_deg v =
+    List.length (List.filter (fun e -> in_matching.(e)) (Graph.incident g v))
+  in
+  let labeling = Array.make (Graph.m g) o_lab in
+  List.iter
+    (fun w ->
+      let incident = Graph.incident g w in
+      let matched, unmatched = List.partition (fun e -> in_matching.(e)) incident in
+      match matched with
+      | first :: others ->
+          (* Matched white: M on one matched edge, X on the others, X
+             padded to y-1 in total, O elsewhere. *)
+          labeling.(first) <- m_lab;
+          List.iter (fun e -> labeling.(e) <- x_lab) others;
+          let pad = ref (y - 1 - List.length others) in
+          List.iter
+            (fun e ->
+              if !pad > 0 then begin
+                labeling.(e) <- x_lab;
+                decr pad
+              end
+              else labeling.(e) <- o_lab)
+            unmatched
+      | [] ->
+          (* Unmatched white: point P at Δ-y-x matched black neighbours
+             (x-maximality guarantees enough of them at degree Δ), then
+             y X's and x O's. *)
+          let toward_matched, toward_unmatched =
+            List.partition
+              (fun e -> matched_deg (Graph.other_end g e w) > 0)
+              incident
+          in
+          let p_quota = ref (max 0 (delta - y - x)) in
+          let x_quota = ref y in
+          let assign e =
+            if !x_quota > 0 then begin
+              labeling.(e) <- x_lab;
+              decr x_quota
+            end
+            else labeling.(e) <- o_lab
+          in
+          List.iter
+            (fun e ->
+              if !p_quota > 0 then begin
+                labeling.(e) <- p_lab;
+                decr p_quota
+              end
+              else assign e)
+            toward_matched;
+          List.iter assign toward_unmatched)
+    (Bipartite.whites bip);
+  labeling

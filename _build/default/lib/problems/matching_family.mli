@@ -1,0 +1,72 @@
+(** The matching problem family of Section 4.
+
+    [Π_Δ(x,y)] (Definition 4.2) is the black-white relaxation ladder of
+    x-maximal y-matchings.  Its labels are [M] (matched), [P]
+    (pointer), [O] (other), [X] (extra matched slots), [Z] (zero
+    witness); the white constraint is
+
+    {v
+      X^{y-1} M O^{Δ-y}
+      X^y O^x P^{Δ-y-x}
+      X^y Z O^{Δ-y-1}
+    v}
+
+    and the black constraint the corresponding condensed forms.
+    [Π_Δ(0,1)] relates to maximal matching: Lemma 4.4 ([BO20]) shows a
+    solution of x-maximal y-matching gives [Π_Δ(x,y)] in 2 rounds, and
+    Lemma 4.5 shows [Π_Δ(x+y,y)] relaxes [RE(Π_Δ(x,y))], yielding the
+    lower-bound sequence of Corollary 4.6. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+val label_m : string
+val label_p : string
+val label_o : string
+val label_x : string
+val label_z : string
+
+val pi : delta:int -> x:int -> y:int -> Problem.t
+(** [Π_Δ(x,y)].  Requires [1 <= y <= Δ - 1], [0 <= x <= Δ - y].
+    @raise Invalid_argument otherwise. *)
+
+val pi_last : delta:int -> y:int -> Problem.t
+(** [Π_Δ(x',y)] with [x' = Δ - 1 - y] — the last problem of the
+    Section 4.2 sequence (the one whose lift is shown unsolvable). *)
+
+val maximal_matching : delta:int -> Problem.t
+(** The Appendix A encoding of maximal matching on 2-colored graphs:
+    white [M O^{Δ-1} | P^Δ], black [M \[O P\]^{Δ-1} | O^Δ]. *)
+
+val sequence_length : delta':int -> x:int -> y:int -> int
+(** [k = ⌊(Δ'-x)/y⌋ - 2], the lower-bound sequence length of Section
+    4.2. *)
+
+val is_matching_solution : Bipartite.t -> int array -> bool
+(** Check a labeling of a 2-colored graph against the Appendix A
+    semantics directly (every node at most one [M]; [P]-edges only next
+    to matched black nodes; [O]-only black nodes have all white
+    neighbours matched) — used to validate the encoding itself. *)
+
+val is_x_maximal_y_matching :
+  Graph.t -> delta:int -> x:int -> y:int -> in_matching:bool array -> bool
+(** The graph-side definition from Section 1.1: every node is incident
+    to at most [y] matched edges, and every unmatched node has at least
+    [min (deg v) (Δ - x)] neighbours incident to matched edges. *)
+
+val greedy_x_maximal_y_matching : Graph.t -> y:int -> bool array
+(** A trivially sequential y-matching that is 0-maximal (hence
+    x-maximal for every x): used as a test oracle. *)
+
+val pi_solution_of_matching :
+  Bipartite.t -> delta:int -> x:int -> y:int -> in_matching:bool array -> int array
+(** The Lemma 4.4 conversion ([BO20]): from an x-maximal y-matching of
+    a 2-colored graph, a bipartite solution of [Π_Δ(x,y)] (an edge
+    labeling; in LOCAL it costs 2 rounds of communication).  A matched
+    white node labels one matched edge [M], its other matched edges
+    [X], pads [X] to [y-1] and fills with [O]; an unmatched white node
+    (which, by x-maximality at degree Δ, has at least [Δ-x ≥ Δ-y-x]
+    matched neighbours) points with [P] at [Δ-y-x] matched black
+    neighbours and fills with [y] X's and [x] O's.
+    @raise Invalid_argument if the input is not an x-maximal
+    y-matching for the given [delta]. *)

@@ -1,0 +1,67 @@
+(** The arbdefective colored ruling set family of Section 6.
+
+    [Π_Δ(c,β)] (Definition 6.2) extends [Π_Δ(c)] with pointer labels
+    [P_i] and filler labels [U_i] for [1 ≤ i ≤ β]: a node may, instead
+    of adopting a color set, point towards a ruling-set node at
+    distance at most β via the chain [P_β, P_{β-1}, …].
+
+    Constraints (for β ≥ 1):
+    - white: [ℓ(C)^{Δ-x} X^x] (x = |C|-1) and [P_i U_i^{Δ-1}];
+    - black (arity 2): [ℓ(C₁)ℓ(C₂)] for disjoint C₁, C₂; [X L] for all
+      L; [P_i ℓ(C)] and [U_i ℓ(C)] for all i, C; [U_i U_j] for all
+      i, j; [P_i U_j] iff [i > j].
+
+    For β = 0 the problem is exactly [Π_Δ(c)].
+
+    Labels are named [X], [C<digits>], [P<i>], [U<i>]. *)
+
+open Slocal_graph
+open Slocal_formalism
+
+val pi : delta:int -> c:int -> beta:int -> Problem.t
+(** Requires [1 <= c <= 9] and [0 <= beta <= 9]. *)
+
+val label_x : Problem.t -> int
+val label_p : Problem.t -> int -> int
+(** [label_p p i] is [P_i], [1 <= i <= β]. *)
+
+val label_u : Problem.t -> int -> int
+val color_set_label : Problem.t -> int list -> int
+val classify : Problem.t -> int -> [ `X | `Color_set of int list | `P of int | `U of int ]
+
+val is_ruling_set : Graph.t -> beta:int -> in_set:bool array -> bool
+(** (2, β)-ruling set of the graph: [in_set] is independent, and every
+    vertex has a set vertex within distance β. *)
+
+val pi_solution_of_ruling_set :
+  Graph.t ->
+  alpha:int ->
+  c:int ->
+  beta:int ->
+  in_set:bool array ->
+  colors:int array ->
+  orientation:(int * int) list ->
+  Problem.t * (int -> int -> int)
+(** The Lemma 6.3 conversion ([BBKO22]): from an α-arbdefective
+    c-colored β-ruling set of a Δ-regular graph, a non-bipartite
+    solution of [Π_Δ((α+1)c, β)] as a half-edge labeling.  Ruling-set
+    nodes use the Lemma 5.3 color-block construction; a node at
+    distance [i] from the set points with [P_i] along a BFS parent edge
+    and fills its other half-edges with [U_i].
+    @raise Invalid_argument if the input is not a valid α-arbdefective
+    c-colored β-ruling set. *)
+
+val is_arb_colored_ruling_set :
+  Graph.t ->
+  alpha:int ->
+  c:int ->
+  beta:int ->
+  in_set:bool array ->
+  colors:int array ->
+  orientation:(int * int) list ->
+  bool
+(** α-arbdefective c-colored β-ruling set (Section 1.1): [in_set]
+    dominates within distance β, and [colors]/[orientation] restricted
+    to the subgraph induced by the set form an α-arbdefective
+    c-coloring of it.  [colors.(v)] is ignored for [v] outside the
+    set; orientation edges must join two set vertices. *)

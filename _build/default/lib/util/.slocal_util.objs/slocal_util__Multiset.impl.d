@@ -1,0 +1,1 @@
+lib/util/multiset.ml: Format List Stdlib

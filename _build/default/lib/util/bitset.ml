@@ -1,0 +1,61 @@
+type t = int
+
+let max_universe = 62
+let empty = 0
+let is_empty s = s = 0
+
+let check i =
+  if i < 0 || i >= max_universe then invalid_arg "Bitset: element out of range"
+
+let singleton i = check i; 1 lsl i
+let mem i s = (s lsr i) land 1 = 1
+let add i s = check i; s lor (1 lsl i)
+let remove i s = s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let equal a b = a = b
+let compare = Stdlib.compare
+let of_list xs = List.fold_left (fun s i -> add i s) empty xs
+
+let to_list s =
+  let rec go i s acc =
+    if s = 0 then List.rev acc
+    else if s land 1 = 1 then go (i + 1) (s lsr 1) (i :: acc)
+    else go (i + 1) (s lsr 1) acc
+  in
+  go 0 s []
+
+let full n =
+  if n < 0 || n > max_universe then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let fold f s init = List.fold_left (fun acc i -> f i acc) init (to_list s)
+let iter f s = List.iter f (to_list s)
+let for_all p s = List.for_all p (to_list s)
+let exists p s = List.exists p (to_list s)
+let filter p s = fold (fun i acc -> if p i then add i acc else acc) s empty
+let choose s = if s = 0 then raise Not_found else
+  let rec go i = if mem i s then i else go (i + 1) in
+  go 0
+
+(* Enumerate subsets of [s] by the standard sub-mask walk. *)
+let subsets s =
+  let rec go m acc = if m = 0 then 0 :: acc else go ((m - 1) land s) (m :: acc) in
+  go s []
+
+let nonempty_subsets s = List.filter (fun m -> m <> 0) (subsets s)
+
+let pp pp_elt fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       pp_elt)
+    (to_list s)

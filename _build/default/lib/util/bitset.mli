@@ -1,0 +1,49 @@
+(** Sets over a small integer universe [{0, ..., 62}], packed in one
+    [int].
+
+    Label alphabets in the black-white formalism are small (rarely more
+    than ~20 labels), so a single OCaml immediate integer suffices and
+    makes set operations (union, inclusion, enumeration of subsets)
+    cheap.  All operations are O(1) except the enumerations. *)
+
+type t = private int
+
+val max_universe : int
+(** Largest supported universe size (62). *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_list : int list -> t
+val to_list : t -> int list
+(** Elements in ascending order. *)
+
+val full : int -> t
+(** [full n] is [{0, ..., n-1}]. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val choose : t -> int
+(** Smallest element.  @raise Not_found on the empty set. *)
+
+val subsets : t -> t list
+(** All subsets, including the empty set.  2^|s| results. *)
+
+val nonempty_subsets : t -> t list
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Small combinatorial enumerations used throughout the framework.
+
+    All enumerations are over integer indices [0 .. n-1]; callers map
+    indices back to their own objects.  These are exact enumerations —
+    they are used by the round elimination operator, the lift operator,
+    and the exhaustive 0-round algorithm search, all of which operate on
+    deliberately small instances. *)
+
+val choose : int -> int -> int
+(** Binomial coefficient [choose n k]; 0 when [k < 0] or [k > n]. *)
+
+val multichoose : int -> int -> int
+(** Number of multisets of size [k] over [n] elements. *)
+
+val subsets_of_size : int -> 'a list -> 'a list list
+(** [subsets_of_size k xs] enumerates all size-[k] subsets (as sorted
+    lists) of the list [xs] of distinct elements, in lexicographic
+    order. *)
+
+val multisets_of_size : int -> 'a list -> 'a list list
+(** [multisets_of_size k xs] enumerates all size-[k] multisets (as
+    sorted lists) over the distinct elements [xs]. *)
+
+val cartesian : 'a list list -> 'a list list
+(** [cartesian [l1; ...; lk]] is the cartesian product, each result
+    listing one element of each [li] in order. *)
+
+val cartesian_exists : ('a list -> bool) -> 'a list list -> bool
+(** [cartesian_exists p ls] decides whether some tuple of the cartesian
+    product satisfies [p], short-circuiting. *)
+
+val cartesian_for_all : ('a list -> bool) -> 'a list list -> bool
+
+val permutations : 'a list -> 'a list list
+(** All permutations.  Use only for very short lists. *)
+
+val fold_tuples : int -> int -> init:'a -> f:('a -> int list -> 'a) -> 'a
+(** [fold_tuples n k ~init ~f] folds [f] over all [n^k] tuples (lists of
+    length [k]) with entries in [0 .. n-1]. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct positions (the two components may be
+    equal values if the list has duplicates). *)

@@ -1,0 +1,65 @@
+type t = int list
+
+let empty = []
+let of_list xs = List.sort compare xs
+let to_list m = m
+let add x m = List.merge compare [ x ] m
+
+let remove x m =
+  let rec go = function
+    | [] -> raise Not_found
+    | y :: rest -> if y = x then rest else if y > x then raise Not_found else y :: go rest
+  in
+  go m
+
+let size = List.length
+let mem x m = List.mem x m
+let count x m = List.length (List.filter (fun y -> y = x) m)
+let support m = List.sort_uniq compare m
+let union a b = List.merge compare a b
+
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' ->
+      if x = y then subset a' b' else if x > y then subset a b' else false
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | a, [] -> a
+  | x :: a', y :: b' ->
+      if x = y then diff a' b' else if x < y then x :: diff a' b else diff a b'
+
+let replicate k x = List.init k (fun _ -> x)
+let map f m = of_list (List.map f m)
+let compare = Stdlib.compare
+let equal a b = a = b
+
+(* Enumerate distinct size-[k] sub-multisets by deciding, for each
+   distinct element, how many copies to keep.  Grouping by distinct
+   element avoids generating duplicates. *)
+let sub_multisets k m =
+  let groups =
+    List.map (fun x -> (x, count x m)) (support m)
+  in
+  let rec go k groups =
+    if k = 0 then [ [] ]
+    else
+      match groups with
+      | [] -> []
+      | (x, c) :: rest ->
+          let acc = ref [] in
+          for take = min k c downto 0 do
+            let tails = go (k - take) rest in
+            List.iter (fun tl -> acc := (replicate take x @ tl) :: !acc) tails
+          done;
+          !acc
+  in
+  go k groups
+
+let pp ?(sep = " ") pp_elt fmt m =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt sep)
+    pp_elt fmt m

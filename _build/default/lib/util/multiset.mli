@@ -1,0 +1,60 @@
+(** Multisets of small non-negative integers, represented as sorted lists.
+
+    Multisets are the workhorse of the black-white formalism: a
+    configuration is a multiset of labels, and constraints are sets of
+    configurations.  The representation is a canonical (sorted,
+    ascending) immutable list, so structural equality and comparison
+    coincide with multiset equality and a total order. *)
+
+type t = private int list
+(** A multiset.  The underlying list is sorted in ascending order. *)
+
+val empty : t
+
+val of_list : int list -> t
+(** [of_list xs] builds the multiset containing the elements of [xs]
+    with their multiplicities. *)
+
+val to_list : t -> int list
+(** [to_list m] is the sorted list of elements, with repetitions. *)
+
+val add : int -> t -> t
+val remove : int -> t -> t
+(** [remove x m] removes one occurrence of [x].  @raise Not_found if
+    [x] is not in [m]. *)
+
+val size : t -> int
+(** Total number of elements, counting multiplicity. *)
+
+val mem : int -> t -> bool
+val count : int -> t -> int
+(** [count x m] is the multiplicity of [x] in [m]. *)
+
+val support : t -> int list
+(** Distinct elements, sorted ascending. *)
+
+val union : t -> t -> t
+(** Multiset sum: multiplicities add. *)
+
+val subset : t -> t -> bool
+(** [subset a b] holds iff every element of [a] occurs in [b] with at
+    least the same multiplicity. *)
+
+val diff : t -> t -> t
+(** [diff a b] removes from [a] the elements of [b], saturating at
+    multiplicity 0. *)
+
+val replicate : int -> int -> t
+(** [replicate k x] is the multiset containing [k] copies of [x]. *)
+
+val map : (int -> int) -> t -> t
+(** Re-canonicalizes after mapping. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val sub_multisets : int -> t -> t list
+(** [sub_multisets k m] enumerates the distinct sub-multisets of [m] of
+    size [k], without duplicates. *)
+
+val pp : ?sep:string -> (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** A small deterministic splittable PRNG (SplitMix64).
+
+    Graph generation and property tests need reproducible randomness
+    that does not depend on global state; every consumer takes an
+    explicit generator.  The generator is mutable but cheap to [copy]
+    and to [split] into independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val copy : t -> t
+val split : t -> t
+(** An independent stream derived from (and advancing) the parent. *)
+
+val next : t -> int
+(** Uniform 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0 .. n-1].  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

@@ -1,0 +1,1 @@
+test/test_formalism.ml: Alcotest Array List QCheck QCheck_alcotest Slocal_formalism Slocal_problems Slocal_util String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Printf QCheck QCheck_alcotest Slocal_graph Slocal_util

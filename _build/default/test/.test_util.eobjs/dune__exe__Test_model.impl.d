@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Hashtbl List Option QCheck QCheck_alcotest Slocal_formalism Slocal_graph Slocal_model Slocal_problems Slocal_util

@@ -1,0 +1,1 @@
+test/test_problems.ml: Alcotest Array List Printf QCheck QCheck_alcotest Slocal_formalism Slocal_graph Slocal_model Slocal_problems Slocal_util

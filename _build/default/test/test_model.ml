@@ -1,0 +1,623 @@
+(* Tests for the execution model: solution checkers, the exact solver,
+   radius-T views, the Supported LOCAL runner, the baseline algorithms,
+   and the exhaustive 0-round algorithm search. *)
+
+module Graph = Slocal_graph.Graph
+module Bipartite = Slocal_graph.Bipartite
+module Hypergraph = Slocal_graph.Hypergraph
+module Gen = Slocal_graph.Graph_gen
+module Prng = Slocal_util.Prng
+module Problem = Slocal_formalism.Problem
+module Checker = Slocal_model.Checker
+module Solver = Slocal_model.Solver
+module View = Slocal_model.View
+module Supported = Slocal_model.Supported
+module Algorithms = Slocal_model.Algorithms
+module Zrs = Slocal_model.Zero_round_search
+module Matching_family = Slocal_problems.Matching_family
+module Coloring_family = Slocal_problems.Coloring_family
+module Ruling_family = Slocal_problems.Ruling_family
+module Classic = Slocal_problems.Classic
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* An even cycle C_{2k} as a 2-colored graph: whites are even vertices. *)
+let bipartite_cycle k =
+  let g = Gen.cycle (2 * k) in
+  let colors =
+    Array.init (2 * k) (fun v ->
+        if v mod 2 = 0 then Bipartite.White else Bipartite.Black)
+  in
+  Bipartite.make g colors
+
+let coloring2 = Classic.coloring ~delta:2 ~c:2
+let coloring3 = Classic.coloring ~delta:2 ~c:3
+
+(* ------------------------------------------------------------------ *)
+(* Checker *)
+
+let test_checker_valid_matching () =
+  (* K_{3,3} with a perfect matching labeled M, everything else O. *)
+  let b = Gen.complete_bipartite 3 3 in
+  let g = Bipartite.graph b in
+  let mm = Matching_family.maximal_matching ~delta:3 in
+  let labeling =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.edge g e in
+        if v - 3 = u then 0 (* M on the diagonal matching *) else 1 (* O *))
+  in
+  check bool_t "valid" true (Checker.is_solution b mm labeling);
+  (* Break it: two M's at white node 0. *)
+  let bad = Array.copy labeling in
+  let e01 = Option.get (Graph.find_edge g 0 4) in
+  bad.(e01) <- 0;
+  check bool_t "invalid" false (Checker.is_solution b mm bad);
+  check bool_t "violation reported" true
+    (List.length (Checker.check b mm bad) > 0)
+
+let test_checker_degree_rule () =
+  (* Nodes whose degree differs from the arity are unconstrained. *)
+  let b = Bipartite.of_sides ~nw:2 ~nb:1 [ (0, 0); (1, 0) ] in
+  let mm = Matching_family.maximal_matching ~delta:3 in
+  (* Whites have degree 1 (not 3), black has degree 2 (not 3): any
+     labeling is fine. *)
+  check bool_t "unconstrained" true (Checker.is_solution b mm [| 2; 2 |])
+
+let test_checker_on_subset () =
+  let b = bipartite_cycle 3 in
+  (* 2-coloring labels, deliberately broken at black node 1 only. *)
+  let labeling = [| 0; 0; 1; 1; 0; 0 |] in
+  let violations = Checker.check b coloring2 labeling in
+  check bool_t "some violation" true (violations <> []);
+  let bad_nodes =
+    List.map
+      (function Checker.White_node v | Checker.Black_node v -> v)
+      violations
+  in
+  let in_s v = not (List.mem v bad_nodes) in
+  check bool_t "S-solution away from violations" true
+    (Checker.is_solution_on b coloring2 ~in_s labeling)
+
+let test_checker_non_bipartite () =
+  (* Triangle with Π_3 ... use the 2-uniform hypergraph view of C_3 and
+     the arbdefective problem Π_2(2): color nodes 1 and 2 properly on a
+     path. *)
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let p = Coloring_family.pi ~delta:2 ~c:2 in
+  let c1 = Coloring_family.color_set_label p [ 1 ] in
+  let c2 = Coloring_family.color_set_label p [ 2 ] in
+  (* Node 1 has degree 2 = Δ: it must satisfy the white constraint;
+     nodes 0 and 2 have degree 1 and are free. *)
+  let labeling v _ = if v = 1 then c1 else c2 in
+  check bool_t "valid non-bipartite" true
+    (Checker.is_non_bipartite_solution h p labeling);
+  let bad v e = if v = 1 && e = 0 then c2 else labeling v e in
+  check bool_t "mixed colors at degree-Δ node" false
+    (Checker.is_non_bipartite_solution h p bad)
+
+(* ------------------------------------------------------------------ *)
+(* Solver *)
+
+let test_solver_2coloring_c4 () =
+  let b = bipartite_cycle 2 in
+  (match Solver.solve b coloring2 with
+  | Solver.Solution s -> check bool_t "checker agrees" true (Checker.is_solution b coloring2 s)
+  | _ -> Alcotest.fail "C4 should be 2-colorable");
+  check (Alcotest.option int_t) "exactly two solutions" (Some 2)
+    (Solver.count_solutions b coloring2)
+
+let test_solver_2coloring_c6_unsat () =
+  (* The three whites of C6 pairwise conflict through the blacks: a
+     2-coloring amounts to properly 2-coloring a triangle. *)
+  let b = bipartite_cycle 3 in
+  check (Alcotest.option bool_t) "unsolvable" (Some false)
+    (Solver.solvable b coloring2);
+  check (Alcotest.option bool_t) "3 colors suffice" (Some true)
+    (Solver.solvable b coloring3)
+
+let test_solver_budget () =
+  let b = bipartite_cycle 3 in
+  match Solver.solve ~max_nodes:1 b coloring3 with
+  | Solver.Budget_exceeded -> ()
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_solver_no_forward_checking_agrees () =
+  let b = bipartite_cycle 3 in
+  let plain = Solver.solve ~forward_checking:false b coloring2 in
+  check bool_t "ablation agrees on unsat" true (plain = Solver.No_solution);
+  match Solver.solve ~forward_checking:false b coloring3 with
+  | Solver.Solution s -> check bool_t "ablation solution valid" true (Checker.is_solution b coloring3 s)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_solver_matching_k33 () =
+  let b = Gen.complete_bipartite 3 3 in
+  let mm = Matching_family.maximal_matching ~delta:3 in
+  match Solver.solve b mm with
+  | Solver.Solution s -> check bool_t "valid" true (Checker.is_solution b mm s)
+  | _ -> Alcotest.fail "maximal matching encodable on K33"
+
+let test_solver_non_bipartite () =
+  (* Π_Δ(k) on the triangle: Π_2(1) forces the single color set on
+     every half-edge and no edge configuration tolerates it, so it is
+     unsolvable; Π_2(2) is solvable (1-arbdefective 1-coloring: orient
+     the cycle, spend the X on the outgoing edge). *)
+  let h = Hypergraph.of_graph (Gen.cycle 3) in
+  let p1 = Coloring_family.pi ~delta:2 ~c:1 in
+  let p2 = Coloring_family.pi ~delta:2 ~c:2 in
+  (match Solver.solve_non_bipartite h p1 with
+  | Solver.No_solution -> ()
+  | _ -> Alcotest.fail "pi_2(1) unsolvable on the triangle");
+  match Solver.solve_non_bipartite h p2 with
+  | Solver.Solution _ -> ()
+  | _ -> Alcotest.fail "pi_2(2) solvable on the triangle"
+
+(* ------------------------------------------------------------------ *)
+(* View *)
+
+let test_view_radius () =
+  let b = bipartite_cycle 4 in
+  let marks = Array.make 8 true in
+  marks.(4) <- false;
+  let v0 = View.make ~support:b ~marks ~center:0 ~radius:0 in
+  (* Radius 0: only edges incident to the center (or its distance-0
+     ball) are visible. *)
+  check (Alcotest.option bool_t) "own edge visible" (Some true) (View.mark v0 0);
+  check (Alcotest.option bool_t) "far edge invisible" None (View.mark v0 4);
+  let v2 = View.make ~support:b ~marks ~center:0 ~radius:4 in
+  check (Alcotest.option bool_t) "far edge visible at radius 4" (Some false)
+    (View.mark v2 4);
+  check int_t "center input edges" 2 (List.length (View.center_input_edges v0))
+
+let test_view_input_degree () =
+  let b = bipartite_cycle 4 in
+  let marks = Array.make 8 true in
+  let v = View.make ~support:b ~marks ~center:0 ~radius:1 in
+  check (Alcotest.option int_t) "neighbor degree known" (Some 2)
+    (View.input_degree v 1);
+  check (Alcotest.option int_t) "far node unknown" None (View.input_degree v 4)
+
+(* ------------------------------------------------------------------ *)
+(* Supported runner *)
+
+let test_supported_instances () =
+  let b = bipartite_cycle 2 in
+  let all = Supported.all_instances b ~max_white:2 ~max_black:2 in
+  check int_t "all subsets" 16 (List.length all);
+  let constrained = Supported.all_instances b ~max_white:1 ~max_black:2 in
+  check bool_t "degree filter" true (List.length constrained < 16)
+
+let test_supported_run_trivial () =
+  (* A 0-round algorithm labeling every input edge with color 1 solves
+     the monochrome problem (white: same color; black: anything). *)
+  let mono =
+    Problem.parse ~name:"mono" ~labels:[ "a"; "b" ] ~white:"a a | b b"
+      ~black:"[a b]^2"
+  in
+  let b = bipartite_cycle 3 in
+  let algo =
+    {
+      Supported.rounds = 0;
+      output = (fun view -> List.map (fun e -> (e, 0)) (View.center_input_edges view));
+    }
+  in
+  List.iter
+    (fun inst ->
+      check bool_t "solves monochrome" true (Supported.solves algo inst mono))
+    (Supported.all_instances b ~max_white:2 ~max_black:2)
+
+let test_supported_input_degrees () =
+  let b = bipartite_cycle 3 in
+  let inst = Supported.sub_instance b ~keep:(fun e -> e < 3) in
+  check bool_t "white degree <= 2" true (Supported.input_white_degree inst <= 2);
+  check bool_t "black degree <= 2" true (Supported.input_black_degree inst <= 2)
+
+let test_synchronous () =
+  (* Distance propagation: after k rounds every node within distance k
+     of node 0 knows it. *)
+  let g = Gen.path 6 in
+  let states, rounds =
+    Supported.synchronous ~graph:g
+      ~init:(fun v -> v = 0)
+      ~send:(fun ~round:_ _ s -> s)
+      ~recv:(fun ~round:_ _ s inbox -> s || List.exists snd inbox)
+      ~stop:(fun ~round:_ states -> Array.for_all (fun b -> b) states)
+      ~max_rounds:100
+  in
+  check int_t "rounds = eccentricity" 5 rounds;
+  check bool_t "all reached" true (Array.for_all (fun b -> b) states)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms *)
+
+let is_mis inst in_mis =
+  let g, _ = Algorithms.input_graph inst in
+  let independent =
+    Array.for_all
+      (fun (u, v) -> not (in_mis.(u) && in_mis.(v)))
+      (Graph.edges g)
+  in
+  let maximal =
+    List.for_all
+      (fun v ->
+        in_mis.(v) || List.exists (fun w -> in_mis.(w)) (Graph.neighbors g v))
+      (List.init (Graph.n g) (fun v -> v))
+  in
+  independent && maximal
+
+let random_instance seed n d keep_prob_pct =
+  let rng = Prng.create seed in
+  let support = Gen.random_regular rng ~n ~d in
+  let marks =
+    Array.init (Graph.m support) (fun _ -> Prng.int rng 100 < keep_prob_pct)
+  in
+  Algorithms.instance support marks
+
+let test_algo_mis () =
+  List.iter
+    (fun seed ->
+      let inst = random_instance seed 20 4 70 in
+      let in_mis, rounds = Algorithms.mis inst in
+      check bool_t "valid MIS" true (is_mis inst in_mis);
+      check bool_t "rounds = support colors" true (rounds >= 1 && rounds <= 5))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_algo_mis_full_input () =
+  let inst = Algorithms.full (Gen.petersen ()) in
+  let in_mis, _ = Algorithms.mis inst in
+  check bool_t "valid MIS on petersen" true (is_mis inst in_mis)
+
+let test_algo_ruling_set () =
+  List.iter
+    (fun beta ->
+      let inst = random_instance 7 20 4 80 in
+      let in_set, _ = Algorithms.ruling_set inst ~beta in
+      let g, _ = Algorithms.input_graph inst in
+      (* Domination within beta holds for nodes with any input edges;
+         isolated nodes join the set themselves. *)
+      check bool_t "ruling set valid" true
+        (Ruling_family.is_ruling_set g ~beta ~in_set))
+    [ 1; 2; 3 ]
+
+let test_algo_coloring () =
+  List.iter
+    (fun seed ->
+      let inst = random_instance seed 18 4 75 in
+      let colors, _ = Algorithms.greedy_coloring inst in
+      let g, _ = Algorithms.input_graph inst in
+      check bool_t "proper" true (Slocal_graph.Coloring.is_proper g colors);
+      check bool_t "at most Δ'+1 colors" true
+        (Slocal_graph.Coloring.num_colors colors
+        <= Algorithms.max_input_degree inst + 1))
+    [ 11; 12; 13 ]
+
+let test_algo_arbdefective () =
+  List.iter
+    (fun (alpha, c) ->
+      let inst = random_instance 21 16 4 100 in
+      let (colors, orientation), _ =
+        Algorithms.arbdefective_coloring inst ~alpha ~c
+      in
+      let g, kept = Algorithms.input_graph inst in
+      (* Translate orientation from support edge ids to input ids. *)
+      let back = Hashtbl.create 16 in
+      Array.iteri (fun i e -> Hashtbl.add back e i) kept;
+      let orientation' =
+        List.map (fun (e, head) -> (Hashtbl.find back e, head)) orientation
+      in
+      check bool_t "valid arbdefective coloring" true
+        (Coloring_family.is_arbdefective_coloring g ~alpha ~c ~colors
+           ~orientation:orientation'))
+    [ (4, 1); (2, 2); (1, 3); (0, 5) ]
+
+let test_algo_matching () =
+  let rng = Prng.create 31 in
+  let b = Gen.random_biregular rng ~nw:8 ~nb:8 ~dw:3 ~db:3 in
+  let marks = Array.init (Bipartite.m b) (fun _ -> Prng.int rng 100 < 80) in
+  let matched, rounds = Algorithms.bipartite_maximal_matching b marks in
+  let g = Bipartite.graph b in
+  (* Maximality and degree-1 within the input graph. *)
+  let matched_deg v =
+    List.length
+      (List.filter (fun e -> matched.(e)) (Graph.incident g v))
+  in
+  Array.iteri
+    (fun e m ->
+      if m then check bool_t "matched edges are input edges" true marks.(e);
+      ignore e)
+    matched;
+  for v = 0 to Graph.n g - 1 do
+    check bool_t "at most one" true (matched_deg v <= 1)
+  done;
+  Array.iteri
+    (fun e (u, v) ->
+      if marks.(e) then
+        check bool_t "maximal" true
+          (matched_deg u > 0 || matched_deg v > 0))
+    (Graph.edges g);
+  check bool_t "rounds bounded" true (rounds <= 2 * (3 + 2))
+
+(* ------------------------------------------------------------------ *)
+(* Zero-round exhaustive search *)
+
+let test_zrs_c4_2coloring () =
+  let b = bipartite_cycle 2 in
+  check (Alcotest.option bool_t) "C4: 0-round 2-coloring exists" (Some true)
+    (Zrs.exists_algorithm b coloring2 ~d_in_white:2 ~d_in_black:2)
+
+let test_zrs_c6_2coloring () =
+  let b = bipartite_cycle 3 in
+  check (Alcotest.option bool_t) "C6: no 0-round 2-coloring" (Some false)
+    (Zrs.exists_algorithm b coloring2 ~d_in_white:2 ~d_in_black:2)
+
+let test_zrs_c6_3coloring () =
+  let b = bipartite_cycle 3 in
+  check (Alcotest.option bool_t) "C6: 0-round 3-coloring exists" (Some true)
+    (Zrs.exists_algorithm b coloring3 ~d_in_white:2 ~d_in_black:2)
+
+let test_zrs_table_runs () =
+  let b = bipartite_cycle 2 in
+  match Zrs.find_algorithm b coloring2 ~d_in_white:2 ~d_in_black:2 with
+  | Some (Some table) ->
+      check bool_t "table correct" true
+        (Zrs.table_correct b coloring2 ~d_in_white:2 ~d_in_black:2 table);
+      (* And it runs through the Supported harness on the full input. *)
+      let algo = Zrs.algorithm_of_table table in
+      List.iter
+        (fun inst ->
+          check bool_t "algorithm solves instance" true
+            (Supported.solves algo inst coloring2))
+        (Supported.all_instances b ~max_white:2 ~max_black:2)
+  | _ -> Alcotest.fail "expected an algorithm on C4"
+
+
+(* ------------------------------------------------------------------ *)
+(* Randomized algorithms *)
+
+module Randomized = Slocal_model.Randomized
+module Ids = Slocal_model.Ids
+
+let test_luby_mis () =
+  let rng = Prng.create 42 in
+  let support = Gen.random_regular rng ~n:30 ~d:4 in
+  let marks = Array.init (Graph.m support) (fun _ -> Prng.int rng 100 < 75) in
+  let inst = Algorithms.instance support marks in
+  let in_mis, rounds = Randomized.luby_mis (Prng.create 7) inst in
+  let input, _ = Algorithms.input_graph inst in
+  check bool_t "valid MIS" true (Ruling_family.is_ruling_set input ~beta:1 ~in_set:in_mis);
+  check bool_t "rounds positive and even" true (rounds >= 0 && rounds mod 2 = 0)
+
+let test_luby_stats () =
+  let rng = Prng.create 5 in
+  let support = Gen.random_regular rng ~n:40 ~d:4 in
+  let inst = Algorithms.full support in
+  let stats = Randomized.luby_mis_stats ~seed:11 ~trials:20 inst in
+  check bool_t "all runs valid" true stats.Randomized.all_valid;
+  check int_t "trials recorded" 20 stats.Randomized.trials;
+  check bool_t "round stats ordered" true
+    (stats.Randomized.min_rounds <= stats.Randomized.max_rounds
+    && float_of_int stats.Randomized.min_rounds <= stats.Randomized.mean_rounds)
+
+let test_luby_isolated () =
+  (* Input graph with no edges: everyone joins in 0 rounds. *)
+  let support = Gen.cycle 6 in
+  let inst = Algorithms.instance support (Array.make 6 false) in
+  let in_mis, rounds = Randomized.luby_mis (Prng.create 1) inst in
+  check bool_t "all join" true (Array.for_all (fun b -> b) in_mis);
+  check int_t "zero rounds" 0 rounds
+
+let test_random_coloring_probability () =
+  (* On C4 with 2 colors exactly 2 of 16 assignments are proper. *)
+  let g = Gen.cycle 4 in
+  let p = Randomized.success_probability_estimate ~seed:3 ~trials:20000 g ~c:2 in
+  check bool_t "close to 1/8" true (abs_float (p -. 0.125) < 0.02)
+
+let test_random_coloring_trial () =
+  let g = Gen.complete 3 in
+  let _, ok = Randomized.random_color_trial (Prng.create 1) g ~c:1 in
+  check bool_t "1 color never proper on K3" false ok
+
+(* ------------------------------------------------------------------ *)
+(* Ids *)
+
+let test_ids_normalize () =
+  check (Alcotest.array Alcotest.int) "ranks" [| 2; 1; 3 |]
+    (Ids.normalize [| 50; 7; 212 |]);
+  check (Alcotest.array Alcotest.int) "already canonical" [| 1; 2; 3 |]
+    (Ids.normalize [| 1; 2; 3 |]);
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Ids.normalize: duplicate identifier") (fun () ->
+      ignore (Ids.normalize [| 4; 4 |]))
+
+let test_ids_canonical () =
+  check bool_t "canonical" true (Ids.is_canonical [| 2; 1; 3 |]);
+  check bool_t "not canonical" false (Ids.is_canonical [| 1; 3; 4 |]);
+  check bool_t "normalize makes canonical" true
+    (Ids.is_canonical (Ids.normalize [| 100; 3; 88; 12 |]));
+  check (Alcotest.array Alcotest.int) "identity" [| 1; 2; 3; 4 |] (Ids.canonical 4)
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional solver / checker / supported coverage *)
+
+let test_solver_count_on_path () =
+  (* A 2-colored path: all interior nodes have degree 2; endpoints are
+     unconstrained (degree 1 != arity 2), so any label fits there. *)
+  let g = Gen.path 4 in
+  let b =
+    Bipartite.make g
+      (Array.init 4 (fun v ->
+           if v mod 2 = 0 then Bipartite.White else Bipartite.Black))
+  in
+  (* coloring2 has arity 2 on both sides; nodes 1 and 2 are degree 2. *)
+  match Solver.count_solutions b coloring2 with
+  | Some k -> check bool_t "some solutions on a path" true (k > 0)
+  | None -> Alcotest.fail "budget on a path"
+
+let test_checker_labeling_size_mismatch () =
+  let b = bipartite_cycle 2 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Checker: labeling size mismatch") (fun () ->
+      ignore (Checker.is_solution b coloring2 [| 0 |]))
+
+let test_labeling_of_outputs_errors () =
+  let b = bipartite_cycle 2 in
+  let inst = Supported.full_input b in
+  (* Node 0 labels an edge it is not incident to. *)
+  let outputs = Array.make 4 [] in
+  outputs.(0) <- [ (2, 0) ];
+  check bool_t "foreign edge rejected" true
+    (Supported.labeling_of_outputs inst outputs = None);
+  (* A marked edge left unlabeled. *)
+  let outputs2 = Array.make 4 [] in
+  check bool_t "missing labels rejected" true
+    (Supported.labeling_of_outputs inst outputs2 = None)
+
+let test_ruling_set_rounds_shape () =
+  let rng = Prng.create 8 in
+  let support = Gen.random_regular rng ~n:40 ~d:4 in
+  let inst = Algorithms.full support in
+  let _, r1 = Algorithms.ruling_set inst ~beta:1 in
+  let _, r2 = Algorithms.ruling_set inst ~beta:2 in
+  (* Each sweep step costs beta rounds in this implementation. *)
+  check int_t "beta=2 costs twice the sweeps" (2 * r1) r2
+
+let test_view_zero_radius_isolated () =
+  let b = bipartite_cycle 3 in
+  let marks = Array.make 6 false in
+  let v = View.make ~support:b ~marks ~center:0 ~radius:0 in
+  check (Alcotest.list Alcotest.int) "no input edges" []
+    (View.center_input_edges v)
+
+let prop_zero_round_tables_respect_class =
+  (* Any table found by the search is correct under the independent
+     validator. *)
+  QCheck.Test.make ~name:"found tables validate" ~count:10
+    QCheck.(int_bound 5)
+    (fun shift ->
+      let support = bipartite_cycle 2 in
+      let c = 2 + (shift mod 2) in
+      let p = Classic.coloring ~delta:2 ~c in
+      match Zrs.find_algorithm support p ~d_in_white:2 ~d_in_black:2 with
+      | Some (Some table) ->
+          Zrs.table_correct support p ~d_in_white:2 ~d_in_black:2 table
+      | Some None -> true
+      | None -> true)
+
+
+let prop_ids_normalize_idempotent =
+  QCheck.Test.make ~name:"Ids.normalize is idempotent" ~count:100
+    QCheck.(small_list small_nat)
+    (fun xs ->
+      let xs = List.sort_uniq compare xs in
+      if xs = [] then true
+      else begin
+        let ids = Array.of_list xs in
+        let once = Ids.normalize ids in
+        once = Ids.normalize once
+      end)
+
+let prop_luby_always_valid =
+  QCheck.Test.make ~name:"Luby MIS valid on random instances" ~count:25
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (gseed, aseed) ->
+      let rng = Prng.create gseed in
+      let support = Gen.random_regular rng ~n:20 ~d:4 in
+      let marks = Array.init (Graph.m support) (fun _ -> Prng.bool rng) in
+      let inst = Algorithms.instance support marks in
+      let in_mis, _ = Randomized.luby_mis (Prng.create aseed) inst in
+      let input, _ = Algorithms.input_graph inst in
+      Ruling_family.is_ruling_set input ~beta:1 ~in_set:in_mis)
+
+let prop_solver_solutions_validate =
+  (* Every labeling the solver returns passes the checker; symmetric to
+     the unsat certificates. *)
+  QCheck.Test.make ~name:"solver solutions pass the checker" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 2 3))
+    (fun (k, c) ->
+      let b = bipartite_cycle k in
+      let p = Classic.coloring ~delta:2 ~c in
+      match Solver.solve b p with
+      | Solver.Solution s -> Checker.is_solution b p s
+      | Solver.No_solution | Solver.Budget_exceeded -> true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_zero_round_tables_respect_class;
+      prop_ids_normalize_idempotent;
+      prop_luby_always_valid;
+      prop_solver_solutions_validate;
+    ]
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "valid matching" `Quick test_checker_valid_matching;
+          Alcotest.test_case "degree rule" `Quick test_checker_degree_rule;
+          Alcotest.test_case "S-solutions" `Quick test_checker_on_subset;
+          Alcotest.test_case "non-bipartite" `Quick test_checker_non_bipartite;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "C4 2-coloring" `Quick test_solver_2coloring_c4;
+          Alcotest.test_case "C6 unsat" `Quick test_solver_2coloring_c6_unsat;
+          Alcotest.test_case "budget" `Quick test_solver_budget;
+          Alcotest.test_case "no-FC ablation" `Quick test_solver_no_forward_checking_agrees;
+          Alcotest.test_case "matching on K33" `Quick test_solver_matching_k33;
+          Alcotest.test_case "non-bipartite" `Quick test_solver_non_bipartite;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "radius" `Quick test_view_radius;
+          Alcotest.test_case "input degree" `Quick test_view_input_degree;
+        ] );
+      ( "supported",
+        [
+          Alcotest.test_case "instances" `Quick test_supported_instances;
+          Alcotest.test_case "trivial run" `Quick test_supported_run_trivial;
+          Alcotest.test_case "input degrees" `Quick test_supported_input_degrees;
+          Alcotest.test_case "synchronous" `Quick test_synchronous;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "mis" `Quick test_algo_mis;
+          Alcotest.test_case "mis full input" `Quick test_algo_mis_full_input;
+          Alcotest.test_case "ruling set" `Quick test_algo_ruling_set;
+          Alcotest.test_case "coloring" `Quick test_algo_coloring;
+          Alcotest.test_case "arbdefective" `Quick test_algo_arbdefective;
+          Alcotest.test_case "matching" `Quick test_algo_matching;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "luby mis" `Quick test_luby_mis;
+          Alcotest.test_case "luby stats" `Quick test_luby_stats;
+          Alcotest.test_case "isolated nodes" `Quick test_luby_isolated;
+          Alcotest.test_case "coloring probability" `Quick test_random_coloring_probability;
+          Alcotest.test_case "coloring trial" `Quick test_random_coloring_trial;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "normalize" `Quick test_ids_normalize;
+          Alcotest.test_case "canonical" `Quick test_ids_canonical;
+        ] );
+      ( "zero-round search",
+        [
+          Alcotest.test_case "C4 2-coloring" `Quick test_zrs_c4_2coloring;
+          Alcotest.test_case "C6 2-coloring unsat" `Quick test_zrs_c6_2coloring;
+          Alcotest.test_case "C6 3-coloring" `Quick test_zrs_c6_3coloring;
+          Alcotest.test_case "table round-trip" `Quick test_zrs_table_runs;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "solutions on a path" `Quick test_solver_count_on_path;
+          Alcotest.test_case "checker size mismatch" `Quick test_checker_labeling_size_mismatch;
+          Alcotest.test_case "output collation errors" `Quick test_labeling_of_outputs_errors;
+          Alcotest.test_case "ruling set round shape" `Quick test_ruling_set_rounds_shape;
+          Alcotest.test_case "empty view" `Quick test_view_zero_radius_isolated;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,553 @@
+(* Tests for the paper's problem families: the matching ladder
+   Π_Δ(x,y) (Section 4), arbdefective colorings Π_Δ(c) (Section 5),
+   arbdefective colored ruling sets Π_Δ(c,β) (Section 6), the classic
+   encodings, and the graph-side checkers.  Includes the computational
+   verification of Observation 4.3, Lemma 4.5 and Lemma 5.4. *)
+
+module Graph = Slocal_graph.Graph
+module Bipartite = Slocal_graph.Bipartite
+module Hypergraph = Slocal_graph.Hypergraph
+module Gen = Slocal_graph.Graph_gen
+module Prng = Slocal_util.Prng
+module Multiset = Slocal_util.Multiset
+module Alphabet = Slocal_formalism.Alphabet
+module Constr = Slocal_formalism.Constr
+module Problem = Slocal_formalism.Problem
+module Diagram = Slocal_formalism.Diagram
+module Relaxation = Slocal_formalism.Relaxation
+module Re_step = Slocal_formalism.Re_step
+module Checker = Slocal_model.Checker
+module Algorithms = Slocal_model.Algorithms
+module MF = Slocal_problems.Matching_family
+module CF = Slocal_problems.Coloring_family
+module RF = Slocal_problems.Ruling_family
+module Classic = Slocal_problems.Classic
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Matching family *)
+
+let test_pi_shapes () =
+  let p = MF.pi ~delta:4 ~x:0 ~y:1 in
+  check int_t "white arity" 4 (Problem.d_white p);
+  check int_t "black arity" 4 (Problem.d_black p);
+  check int_t "alphabet" 5 (Alphabet.size p.Problem.alphabet);
+  (* White constraint: MOOO | XOOP...: 3 condensed lines. *)
+  check int_t "white configs" 3 (Constr.size p.Problem.white)
+
+let test_pi_rejects () =
+  Alcotest.check_raises "y too large"
+    (Invalid_argument "Matching_family.pi: need 1 <= y <= Δ-1") (fun () ->
+      ignore (MF.pi ~delta:3 ~x:0 ~y:3));
+  Alcotest.check_raises "x too large"
+    (Invalid_argument "Matching_family.pi: need 0 <= x <= Δ-y") (fun () ->
+      ignore (MF.pi ~delta:3 ~x:3 ~y:1))
+
+let test_pi_last () =
+  let p = MF.pi_last ~delta:5 ~y:2 in
+  (* x' = Δ-1-y = 2. *)
+  check bool_t "same as explicit" true
+    (Problem.equal p (MF.pi ~delta:5 ~x:2 ~y:2))
+
+let test_section42_label_sets () =
+  (* Figure 1's diagram (M->X, Z->M, Z->P, P->O, O->X) holds for the
+     generic family members, giving the seven right-closed sets the
+     Section 4.2 analysis enumerates. *)
+  let generic = MF.pi ~delta:4 ~x:0 ~y:1 in
+  let names_of p =
+    Diagram.right_closed_sets (Diagram.black p)
+    |> List.map (fun s -> Re_step.set_name p.Problem.alphabet s)
+    |> List.sort compare
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "generic member: seven label-sets"
+    (List.sort compare [ "X"; "MX"; "OX"; "MOX"; "POX"; "MPOX"; "MZPOX" ])
+    (names_of generic);
+  (* For the last problem Π_Δ'(Δ'-1-y, y) the instance diagram gains
+     the edges M->O and O->X is joined by O>=X's converse... precisely:
+     O becomes at least as strong as X (the [POX]^{x'} slots of the
+     middle black line absorb the replacement), so only five of the
+     seven sets remain right-closed.  This is a refinement of the
+     paper's list: every S_e still lies in the Section 4.2 list, and
+     the Lemma 4.7-4.9 counting goes through verbatim. *)
+  check
+    (Alcotest.list Alcotest.string)
+    "last member: five label-sets"
+    (List.sort compare [ "OX"; "MOX"; "POX"; "MPOX"; "MZPOX" ])
+    (names_of (MF.pi_last ~delta:4 ~y:1))
+
+let test_observation_4_3 () =
+  (* Π_Δ(x',y') is a relaxation of Π_Δ(x,y) for x' >= x, y' >= y. *)
+  let src = MF.pi ~delta:4 ~x:0 ~y:1 in
+  List.iter
+    (fun (x', y') ->
+      let dst = MF.pi ~delta:4 ~x:x' ~y:y' in
+      check (Alcotest.option bool_t)
+        (Printf.sprintf "relaxes to (%d,%d)" x' y')
+        (Some true)
+        (Relaxation.exists src dst))
+    [ (0, 1); (1, 1); (2, 1); (0, 2); (1, 2) ]
+
+let test_lemma_4_5 () =
+  (* Π_Δ(x+y,y) is a relaxation of RE(Π_Δ(x,y)). *)
+  List.iter
+    (fun (delta, x, y) ->
+      let p = MF.pi ~delta ~x ~y in
+      let re = Re_step.re p in
+      let target = MF.pi ~delta ~x:(x + y) ~y in
+      check (Alcotest.option bool_t)
+        (Printf.sprintf "Δ=%d x=%d y=%d" delta x y)
+        (Some true)
+        (Relaxation.exists ~max_nodes:5_000_000 re target))
+    [ (3, 0, 1); (4, 0, 1); (4, 1, 1) ]
+
+let test_sequence_length () =
+  check int_t "k for mm" 2 (MF.sequence_length ~delta':4 ~x:0 ~y:1);
+  check int_t "k big" 14 (MF.sequence_length ~delta':16 ~x:0 ~y:1);
+  check int_t "k with slack" 5 (MF.sequence_length ~delta':16 ~x:2 ~y:2)
+
+let test_matching_checker_semantic () =
+  let b = Gen.complete_bipartite 3 3 in
+  let g = Bipartite.graph b in
+  let labeling =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.edge g e in
+        if v - 3 = u then 0 else 1)
+  in
+  check bool_t "semantic checker accepts" true (MF.is_matching_solution b labeling);
+  let mm = MF.maximal_matching ~delta:3 in
+  check bool_t "formalism checker agrees" true (Checker.is_solution b mm labeling)
+
+let test_x_maximal_y_matching_graph () =
+  let g = Gen.petersen () in
+  let m = MF.greedy_x_maximal_y_matching g ~y:1 in
+  check bool_t "greedy is 0-maximal 1-matching" true
+    (MF.is_x_maximal_y_matching g ~delta:3 ~x:0 ~y:1 ~in_matching:m);
+  check bool_t "also x-maximal for larger x" true
+    (MF.is_x_maximal_y_matching g ~delta:3 ~x:2 ~y:1 ~in_matching:m);
+  let m2 = MF.greedy_x_maximal_y_matching g ~y:2 in
+  check bool_t "2-matching" true
+    (MF.is_x_maximal_y_matching g ~delta:3 ~x:0 ~y:2 ~in_matching:m2);
+  (* An empty matching on Petersen is not maximal. *)
+  let empty = Array.make (Graph.m g) false in
+  check bool_t "empty not maximal" false
+    (MF.is_x_maximal_y_matching g ~delta:3 ~x:0 ~y:1 ~in_matching:empty)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring family *)
+
+let test_pi_c_shapes () =
+  let p = CF.pi ~delta:3 ~c:2 in
+  check int_t "labels: X + 3 subsets" 4 (Alphabet.size p.Problem.alphabet);
+  check int_t "white configs" 3 (Constr.size p.Problem.white);
+  check int_t "black arity" 2 (Problem.d_black p);
+  (* XL for 4 labels + disjoint pairs C1C2. *)
+  check int_t "black configs" 5 (Constr.size p.Problem.black)
+
+let test_color_labels () =
+  let p = CF.pi ~delta:3 ~c:3 in
+  let l = CF.color_set_label p [ 1; 3 ] in
+  check (Alcotest.option (Alcotest.list int_t)) "roundtrip" (Some [ 1; 3 ])
+    (CF.color_set_of_label p l);
+  check (Alcotest.option (Alcotest.list int_t)) "X maps to None" None
+    (CF.color_set_of_label p (CF.label_x p))
+
+let test_lemma_5_4_fixed_points () =
+  (* RE(Π_Δ(c)) = Π_Δ(c) whenever c <= Δ (Lemma 5.4).  The c = 1 case
+     (proper 1-coloring) is degenerate — its black constraint has no
+     disjoint color pairs at all and RE collapses it — so the
+     interesting regime c >= 2 is tested. *)
+  List.iter
+    (fun (delta, c) ->
+      check bool_t
+        (Printf.sprintf "Π_%d(%d) fixed point" delta c)
+        true
+        (Re_step.is_fixed_point (CF.pi ~delta ~c)))
+    [ (2, 2); (3, 2); (3, 3); (4, 2) ]
+
+let test_arbdefective_graph_checker () =
+  let g = Gen.cycle 4 in
+  (* All nodes one color, orient the cycle: outdegree 1. *)
+  let colors = Array.make 4 0 in
+  let orientation = List.init 4 (fun e -> (e, (e + 1) mod 4)) in
+  check bool_t "cycle orientation is 1-arbdefective 1-coloring" true
+    (CF.is_arbdefective_coloring g ~alpha:1 ~c:1 ~colors ~orientation);
+  check bool_t "not 0-arbdefective" false
+    (CF.is_arbdefective_coloring g ~alpha:0 ~c:1 ~colors ~orientation);
+  (* Missing orientation on a monochromatic edge is rejected. *)
+  check bool_t "incomplete orientation" false
+    (CF.is_arbdefective_coloring g ~alpha:1 ~c:1 ~colors
+       ~orientation:(List.tl orientation))
+
+let test_lemma_5_3_conversion () =
+  (* α-arbdefective c-coloring => 0-round solution of Π_Δ((α+1)c). *)
+  let g = Gen.petersen () in
+  let inst = Algorithms.full g in
+  List.iter
+    (fun (alpha, c) ->
+      let (colors, orientation), _ =
+        Algorithms.arbdefective_coloring inst ~alpha ~c
+      in
+      check bool_t "input coloring valid" true
+        (CF.is_arbdefective_coloring g ~alpha ~c ~colors ~orientation);
+      let problem, labeling =
+        CF.pi_solution_of_arbdefective g ~alpha ~c ~colors ~orientation
+      in
+      let h = Hypergraph.of_graph g in
+      check bool_t
+        (Printf.sprintf "Π solution valid (α=%d c=%d)" alpha c)
+        true
+        (Checker.is_non_bipartite_solution h problem labeling))
+    [ (3, 1); (1, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ruling family *)
+
+let test_pi_cb_shapes () =
+  let p = RF.pi ~delta:3 ~c:2 ~beta:2 in
+  (* X + 3 subsets + P1 P2 + U1 U2. *)
+  check int_t "labels" 8 (Alphabet.size p.Problem.alphabet);
+  (* 3 color configs + 2 pointer configs. *)
+  check int_t "white configs" 5 (Constr.size p.Problem.white);
+  check int_t "black arity" 2 (Problem.d_black p)
+
+let test_pi_cb_beta0 () =
+  check bool_t "β=0 collapses to Π_Δ(c)" true
+    (Problem.equal (RF.pi ~delta:3 ~c:2 ~beta:0) (CF.pi ~delta:3 ~c:2))
+
+let test_pi_cb_edge_constraint () =
+  let p = RF.pi ~delta:3 ~c:1 ~beta:2 in
+  let x = RF.label_x p in
+  let p1 = RF.label_p p 1 and p2 = RF.label_p p 2 in
+  let u1 = RF.label_u p 1 and u2 = RF.label_u p 2 in
+  let c1 = RF.color_set_label p [ 1 ] in
+  let mem a b = Constr.mem (Multiset.of_list [ a; b ]) p.Problem.black in
+  check bool_t "X with P2" true (mem x p2);
+  check bool_t "P_i with color" true (mem p1 c1);
+  check bool_t "U_i with U_j" true (mem u1 u2);
+  check bool_t "P2 U1 (i > j)" true (mem p2 u1);
+  check bool_t "P1 U2 rejected (i <= j)" false (mem p1 u2);
+  check bool_t "P1 U1 rejected" false (mem p1 u1);
+  check bool_t "P P rejected" false (mem p1 p2);
+  check bool_t "same color rejected" false (mem c1 c1)
+
+let test_classify () =
+  let p = RF.pi ~delta:3 ~c:2 ~beta:1 in
+  check bool_t "X" true (RF.classify p (RF.label_x p) = `X);
+  check bool_t "P1" true (RF.classify p (RF.label_p p 1) = `P 1);
+  check bool_t "U1" true (RF.classify p (RF.label_u p 1) = `U 1);
+  check bool_t "colors" true
+    (RF.classify p (RF.color_set_label p [ 1; 2 ]) = `Color_set [ 1; 2 ])
+
+let test_ruling_set_checker () =
+  let g = Gen.cycle 6 in
+  let in_set = [| true; false; false; true; false; false |] in
+  check bool_t "(2,1)-ruling set" true (RF.is_ruling_set g ~beta:1 ~in_set);
+  check bool_t "also (2,2)" true (RF.is_ruling_set g ~beta:2 ~in_set);
+  let sparse = [| true; false; false; false; false; false |] in
+  check bool_t "not dominating at β=1" false (RF.is_ruling_set g ~beta:1 ~in_set:sparse);
+  check bool_t "dominating at β=3" true (RF.is_ruling_set g ~beta:3 ~in_set:sparse);
+  let adjacent = [| true; true; false; true; false; false |] in
+  check bool_t "not independent" false (RF.is_ruling_set g ~beta:1 ~in_set:adjacent)
+
+let test_arb_colored_ruling_set_checker () =
+  let g = Gen.cycle 6 in
+  (* S = {0, 3}: independent in the induced subgraph (no edges), any
+     coloring works. *)
+  let in_set = [| true; false; false; true; false; false |] in
+  let colors = [| 0; 0; 0; 0; 0; 0 |] in
+  check bool_t "valid" true
+    (RF.is_arb_colored_ruling_set g ~alpha:0 ~c:1 ~beta:1 ~in_set ~colors
+       ~orientation:[]);
+  (* S = {0, 1}: induced edge is monochromatic, needs orientation and
+     α >= 1; and node 4 is at distance 2 so β = 1 fails. *)
+  let in_set2 = [| true; true; false; false; false; false |] in
+  check bool_t "domination fails" false
+    (RF.is_arb_colored_ruling_set g ~alpha:1 ~c:1 ~beta:1 ~in_set:in_set2
+       ~colors ~orientation:[ (0, 0) ]);
+  check bool_t "β=3 with orientation" true
+    (RF.is_arb_colored_ruling_set g ~alpha:1 ~c:1 ~beta:3 ~in_set:in_set2
+       ~colors ~orientation:[ (0, 0) ]);
+  check bool_t "α=0 rejects monochromatic edge" false
+    (RF.is_arb_colored_ruling_set g ~alpha:0 ~c:1 ~beta:3 ~in_set:in_set2
+       ~colors ~orientation:[ (0, 0) ])
+
+let test_mis_is_ruling_family () =
+  let p = Classic.mis_family ~delta:3 in
+  check bool_t "MIS = Π_Δ(1,1)" true (Problem.equal p (RF.pi ~delta:3 ~c:1 ~beta:1))
+
+(* ------------------------------------------------------------------ *)
+(* Classic encodings *)
+
+let test_sinkless_orientation_problem () =
+  let p = Classic.sinkless_orientation ~delta:3 in
+  check int_t "two labels" 2 (Alphabet.size p.Problem.alphabet);
+  check int_t "white configs: O [OI]^2" 3 (Constr.size p.Problem.white);
+  check bool_t "fixed point modulo relaxation" true
+    (Relaxation.exists (Re_step.re p) p = Some true)
+
+let test_sinkless_coloring () =
+  let p = Classic.sinkless_coloring ~delta:3 in
+  check bool_t "is Π_Δ(Δ)" true (Problem.equal p (CF.pi ~delta:3 ~c:3) |> not
+    |> fun diff -> not diff || Problem.equal_up_to_renaming p (CF.pi ~delta:3 ~c:3));
+  check bool_t "fixed point" true (Re_step.is_fixed_point p)
+
+let test_coloring_encoding () =
+  let p = Classic.coloring ~delta:3 ~c:3 in
+  check int_t "labels" 3 (Alphabet.size p.Problem.alphabet);
+  check int_t "white configs" 3 (Constr.size p.Problem.white);
+  check int_t "black configs" 3 (Constr.size p.Problem.black)
+
+let test_sinkless_graph_checker () =
+  let g = Gen.cycle 4 in
+  let orientation = List.init 4 (fun e -> (e, (e + 1) mod 4)) in
+  check bool_t "cyclic orientation sinkless" true
+    (Classic.is_sinkless_orientation g ~towards_head:orientation);
+  (* Orient everything toward node 0's side: some node becomes a sink. *)
+  let bad = List.init 4 (fun e -> (e, fst (Graph.edge g e))) in
+  check bool_t "sink detected" false
+    (Classic.is_sinkless_orientation g ~towards_head:bad)
+
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 6.3: ruling set -> Π_Δ((α+1)c, β) *)
+
+let test_lemma_6_3_mis () =
+  (* An MIS is a 0-arbdefective 1-colored 1-ruling set; the conversion
+     must produce a valid non-bipartite solution of Π_Δ(1,1). *)
+  let g = Gen.petersen () in
+  let inst = Algorithms.full g in
+  let in_mis, _ = Algorithms.mis inst in
+  let colors = Array.make (Graph.n g) 0 in
+  let problem, labeling =
+    RF.pi_solution_of_ruling_set g ~alpha:0 ~c:1 ~beta:1 ~in_set:in_mis
+      ~colors ~orientation:[]
+  in
+  let h = Hypergraph.of_graph g in
+  check bool_t "valid Π_Δ(1,1) solution" true
+    (Checker.is_non_bipartite_solution h problem labeling)
+
+let test_lemma_6_3_beta2 () =
+  let rng = Prng.create 31 in
+  let g = Gen.random_regular rng ~n:24 ~d:4 in
+  let inst = Algorithms.full g in
+  let in_set, _ = Algorithms.ruling_set inst ~beta:2 in
+  let colors = Array.make (Graph.n g) 0 in
+  let problem, labeling =
+    RF.pi_solution_of_ruling_set g ~alpha:0 ~c:1 ~beta:2 ~in_set ~colors
+      ~orientation:[]
+  in
+  let h = Hypergraph.of_graph g in
+  check bool_t "valid Π_Δ(1,2) solution" true
+    (Checker.is_non_bipartite_solution h problem labeling)
+
+let test_lemma_6_3_with_colors () =
+  (* S = all nodes with an arbdefective coloring: the β-pointers are
+     unused but the color-block half still has to satisfy Π_Δ(k,β). *)
+  let g = Gen.petersen () in
+  let inst = Algorithms.full g in
+  let alpha = 1 and c = 2 in
+  let (colors, orientation), _ = Algorithms.arbdefective_coloring inst ~alpha ~c in
+  let in_set = Array.make (Graph.n g) true in
+  let problem, labeling =
+    RF.pi_solution_of_ruling_set g ~alpha ~c ~beta:1 ~in_set ~colors
+      ~orientation
+  in
+  let h = Hypergraph.of_graph g in
+  check bool_t "valid Π_Δ(4,1) solution" true
+    (Checker.is_non_bipartite_solution h problem labeling)
+
+let test_lemma_6_3_rejects () =
+  let g = Gen.cycle 6 in
+  let sparse = [| true; false; false; false; false; false |] in
+  let colors = Array.make 6 0 in
+  Alcotest.check_raises "β too small for the set"
+    (Invalid_argument
+       "pi_solution_of_ruling_set: set does not dominate within beta")
+    (fun () ->
+      ignore
+        (RF.pi_solution_of_ruling_set g ~alpha:0 ~c:1 ~beta:1 ~in_set:sparse
+           ~colors ~orientation:[]))
+
+(* ------------------------------------------------------------------ *)
+(* Sequences *)
+
+module Sequence = Slocal_formalism.Sequence
+
+let test_sequence_iterate_re () =
+  let mm = MF.maximal_matching ~delta:3 in
+  let seq = Sequence.iterate_re mm ~steps:2 in
+  check int_t "three problems" 3 (List.length seq);
+  check (Alcotest.option bool_t) "RE iterates verify" (Some true)
+    (Sequence.is_lower_bound_sequence ~max_nodes:5_000_000 seq)
+
+let test_sequence_constant_so () =
+  let so = Classic.sinkless_orientation ~delta:3 in
+  check (Alcotest.option bool_t) "SO constant sequence" (Some true)
+    (Sequence.is_lower_bound_sequence (Sequence.constant so ~k:3))
+
+let test_sequence_constant_fixed_point () =
+  let p = CF.pi ~delta:3 ~c:2 in
+  check (Alcotest.option bool_t) "fixed point constant sequence" (Some true)
+    (Sequence.is_lower_bound_sequence (Sequence.constant p ~k:2))
+
+let test_sequence_matching_ladder () =
+  (* The Section 4.2 ladder Π_4(0,1), Π_4(1,1), Π_4(2,1). *)
+  let ladder =
+    [ MF.pi ~delta:4 ~x:0 ~y:1; MF.pi ~delta:4 ~x:1 ~y:1; MF.pi ~delta:4 ~x:2 ~y:1 ]
+  in
+  check (Alcotest.option bool_t) "matching ladder verifies" (Some true)
+    (Sequence.is_lower_bound_sequence ~max_nodes:5_000_000 ladder);
+  let steps = Sequence.check ~max_nodes:5_000_000 ladder in
+  check int_t "two steps" 2 (List.length steps)
+
+let test_sequence_arity_mismatch_refuted () =
+  let so = Classic.sinkless_orientation ~delta:3 in
+  let col = Classic.coloring ~delta:3 ~c:2 in
+  (* SO has black arity 3, coloring has black arity 2: refuted, not
+     budget. *)
+  check (Alcotest.option bool_t) "mismatch refutes" (Some false)
+    (Sequence.is_lower_bound_sequence [ so; col ])
+
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4.4: x-maximal y-matching -> Π_Δ(x,y) *)
+
+let test_lemma_4_4_k33 () =
+  let b = Gen.complete_bipartite 3 3 in
+  let g = Bipartite.graph b in
+  let m = MF.greedy_x_maximal_y_matching g ~y:1 in
+  let labeling = MF.pi_solution_of_matching b ~delta:3 ~x:0 ~y:1 ~in_matching:m in
+  check bool_t "valid Π_3(0,1) solution" true
+    (Checker.is_solution b (MF.pi ~delta:3 ~x:0 ~y:1) labeling)
+
+let test_lemma_4_4_variants () =
+  let rng = Prng.create 77 in
+  let b = Gen.random_biregular rng ~nw:8 ~nb:8 ~dw:4 ~db:4 in
+  let g = Bipartite.graph b in
+  List.iter
+    (fun (x, y) ->
+      let m = MF.greedy_x_maximal_y_matching g ~y in
+      let labeling = MF.pi_solution_of_matching b ~delta:4 ~x ~y ~in_matching:m in
+      check bool_t
+        (Printf.sprintf "valid Π_4(%d,%d) solution" x y)
+        true
+        (Checker.is_solution b (MF.pi ~delta:4 ~x ~y) labeling))
+    [ (0, 1); (1, 1); (2, 1); (0, 2); (1, 2); (0, 3) ]
+
+let test_lemma_4_4_rejects () =
+  let b = Gen.complete_bipartite 3 3 in
+  let g = Bipartite.graph b in
+  let empty = Array.make (Graph.m g) false in
+  Alcotest.check_raises "empty matching rejected"
+    (Invalid_argument "pi_solution_of_matching: not an x-maximal y-matching")
+    (fun () ->
+      ignore (MF.pi_solution_of_matching b ~delta:3 ~x:0 ~y:1 ~in_matching:empty))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"Lemma 4.4 conversion on random biregular graphs"
+        ~count:60
+        QCheck.(triple (int_bound 1000) (int_range 1 3) (int_bound 2))
+        (fun (seed, y, x) ->
+          let rng = Prng.create seed in
+          let d = 4 in
+          if y > d - 1 || x > d - y then true
+          else begin
+            let b = Gen.random_biregular rng ~nw:7 ~nb:7 ~dw:d ~db:d in
+            let g = Bipartite.graph b in
+            let m = MF.greedy_x_maximal_y_matching g ~y in
+            let labeling =
+              MF.pi_solution_of_matching b ~delta:d ~x ~y ~in_matching:m
+            in
+            Checker.is_solution b (MF.pi ~delta:d ~x ~y) labeling
+          end);
+      QCheck.Test.make ~name:"greedy y-matchings validate for random y" ~count:50
+        QCheck.(pair (int_bound 1000) (int_range 1 3))
+        (fun (seed, y) ->
+          let rng = Prng.create seed in
+          let g = Gen.random_regular rng ~n:16 ~d:4 in
+          let m = MF.greedy_x_maximal_y_matching g ~y in
+          MF.is_x_maximal_y_matching g ~delta:4 ~x:0 ~y ~in_matching:m);
+      QCheck.Test.make ~name:"algorithmic arbdefective colorings validate" ~count:30
+        QCheck.(pair (int_bound 1000) (int_range 1 3))
+        (fun (seed, c) ->
+          let rng = Prng.create seed in
+          let g = Gen.random_regular rng ~n:14 ~d:4 in
+          let inst = Algorithms.full g in
+          let alpha = (4 / c) in
+          let (colors, orientation), _ =
+            Algorithms.arbdefective_coloring inst ~alpha ~c
+          in
+          CF.is_arbdefective_coloring g ~alpha ~c ~colors ~orientation);
+    ]
+
+let () =
+  Alcotest.run "problems"
+    [
+      ( "matching family",
+        [
+          Alcotest.test_case "shapes" `Quick test_pi_shapes;
+          Alcotest.test_case "rejects" `Quick test_pi_rejects;
+          Alcotest.test_case "pi_last" `Quick test_pi_last;
+          Alcotest.test_case "Section 4.2 label-sets" `Quick test_section42_label_sets;
+          Alcotest.test_case "Observation 4.3" `Quick test_observation_4_3;
+          Alcotest.test_case "Lemma 4.5" `Slow test_lemma_4_5;
+          Alcotest.test_case "sequence length" `Quick test_sequence_length;
+          Alcotest.test_case "semantic checker" `Quick test_matching_checker_semantic;
+          Alcotest.test_case "graph checker" `Quick test_x_maximal_y_matching_graph;
+        ] );
+      ( "coloring family",
+        [
+          Alcotest.test_case "shapes" `Quick test_pi_c_shapes;
+          Alcotest.test_case "color labels" `Quick test_color_labels;
+          Alcotest.test_case "Lemma 5.4 fixed points" `Slow test_lemma_5_4_fixed_points;
+          Alcotest.test_case "graph checker" `Quick test_arbdefective_graph_checker;
+          Alcotest.test_case "Lemma 5.3 conversion" `Quick test_lemma_5_3_conversion;
+        ] );
+      ( "ruling family",
+        [
+          Alcotest.test_case "shapes" `Quick test_pi_cb_shapes;
+          Alcotest.test_case "β=0" `Quick test_pi_cb_beta0;
+          Alcotest.test_case "edge constraint" `Quick test_pi_cb_edge_constraint;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "ruling set checker" `Quick test_ruling_set_checker;
+          Alcotest.test_case "colored ruling set checker" `Quick
+            test_arb_colored_ruling_set_checker;
+          Alcotest.test_case "MIS member" `Quick test_mis_is_ruling_family;
+        ] );
+      ( "lemma 4.4",
+        [
+          Alcotest.test_case "K33" `Quick test_lemma_4_4_k33;
+          Alcotest.test_case "parameter variants" `Quick test_lemma_4_4_variants;
+          Alcotest.test_case "rejects" `Quick test_lemma_4_4_rejects;
+        ] );
+      ( "lemma 6.3",
+        [
+          Alcotest.test_case "MIS conversion" `Quick test_lemma_6_3_mis;
+          Alcotest.test_case "β=2 conversion" `Quick test_lemma_6_3_beta2;
+          Alcotest.test_case "colored conversion" `Quick test_lemma_6_3_with_colors;
+          Alcotest.test_case "rejects bad input" `Quick test_lemma_6_3_rejects;
+        ] );
+      ( "sequences",
+        [
+          Alcotest.test_case "iterate RE" `Quick test_sequence_iterate_re;
+          Alcotest.test_case "constant SO" `Quick test_sequence_constant_so;
+          Alcotest.test_case "constant fixed point" `Quick test_sequence_constant_fixed_point;
+          Alcotest.test_case "matching ladder" `Slow test_sequence_matching_ladder;
+          Alcotest.test_case "arity mismatch" `Quick test_sequence_arity_mismatch_refuted;
+        ] );
+      ( "classic",
+        [
+          Alcotest.test_case "sinkless orientation" `Quick test_sinkless_orientation_problem;
+          Alcotest.test_case "sinkless coloring" `Quick test_sinkless_coloring;
+          Alcotest.test_case "coloring" `Quick test_coloring_encoding;
+          Alcotest.test_case "graph checker" `Quick test_sinkless_graph_checker;
+        ] );
+      ("properties", qsuite);
+    ]
