@@ -7,6 +7,9 @@
      solve    — decide bipartite solvability of a problem on a graph
      bounds   — evaluate the paper's bound formulas on given parameters
      gen      — generate a support graph and report girth/independence
+     export   — print a problem in the textual document format
+     lint     — static analysis: verify the formalism invariants
+     audit    — re-validate a lower-bound certificate end to end
 
    Problems are selected from the built-in families of the paper:
      matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
@@ -30,6 +33,8 @@ module CF = Slocal_problems.Coloring_family
 module RF = Slocal_problems.Ruling_family
 module Classic = Slocal_problems.Classic
 module Core = Supported_local
+module Diagnostic = Slocal_analysis.Diagnostic
+module Chk = Slocal_analysis.Check
 
 let parse_problem spec =
   match String.split_on_char ':' spec with
@@ -265,6 +270,127 @@ let sequence_cmd =
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
     Term.(const run $ problem_arg $ steps)
 
+let export_cmd =
+  let run spec =
+    let p = parse_problem spec in
+    print_string (Problem.to_string p)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Print a problem in the textual document format (re-readable by file:PATH)")
+    Term.(const run $ problem_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis: lint and audit.  Exit-code contract (documented in
+   the README): 0 clean, 1 worst diagnostic is a warning, 2 errors. *)
+
+let machine_flag =
+  Arg.(value & flag
+       & info [ "machine" ]
+           ~doc:"Machine-readable output: one tab-separated line per diagnostic.")
+
+let delta_opt =
+  Arg.(value & opt (some int) None
+       & info [ "delta" ] ~doc:"Target support white degree Δ for lift checks.")
+
+let r_opt =
+  Arg.(value & opt (some int) None
+       & info [ "r" ] ~doc:"Target support black degree r for lift checks.")
+
+let report_and_exit ~machine diags =
+  Format.printf "%a@?" (Diagnostic.pp_report ~machine) diags;
+  exit (Diagnostic.exit_code diags)
+
+let lint_cmd =
+  let specs =
+    let doc =
+      "Problem specs (same syntax as other subcommands) or paths to problem \
+       documents.  A bare path to an existing file is linted as a document."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PROBLEM" ~doc)
+  in
+  let codes_flag =
+    Arg.(value & flag
+         & info [ "codes" ] ~doc:"Print the diagnostic code table and exit.")
+  in
+  let re_steps =
+    Arg.(value & opt int 1
+         & info [ "re-steps" ]
+             ~doc:"Also check the grounding invariants of this many RE steps \
+                   (0 disables).")
+  in
+  let run specs delta r machine codes re_steps =
+    if codes then Format.printf "%a@?" Chk.pp_code_table ()
+    else begin
+      if specs = [] then begin
+        prerr_endline "lint: no problems given (try --codes for the code table)";
+        exit 2
+      end;
+      let diags =
+        List.concat_map
+          (fun spec ->
+            if Sys.file_exists spec && not (Sys.is_directory spec) then
+              Chk.lint_file ?delta ?r spec
+            else
+              match String.index_opt spec ':' with
+              | Some 4 when String.sub spec 0 4 = "file" ->
+                  Chk.lint_file ?delta ?r
+                    (String.sub spec 5 (String.length spec - 5))
+              | _ -> (
+                  match parse_problem spec with
+                  | p ->
+                      Chk.lint_problem ?delta ?r p
+                      @ Chk.lint_re_chain p ~steps:re_steps
+                  | exception Invalid_argument msg ->
+                      [ Diagnostic.error ~code:"SL000" ~subject:spec
+                          ("unparsable problem: " ^ msg) ]))
+          specs
+      in
+      report_and_exit ~machine diags
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify formalism invariants (diagrams, lifts, \
+             condensed syntax)")
+    Term.(const run $ specs $ delta_opt $ r_opt $ machine_flag $ codes_flag
+          $ re_steps)
+
+let audit_cmd =
+  let k =
+    Arg.(value & opt int 1
+         & info [ "k" ] ~doc:"Lower-bound sequence length ending in PROBLEM.")
+  in
+  let budget =
+    Arg.(value & opt int 20_000_000
+         & info [ "budget" ] ~doc:"Solver search-node budget for the analysis.")
+  in
+  let recheck_budget =
+    Arg.(value & opt int 2_000_000
+         & info [ "recheck-budget" ]
+             ~doc:"Search-node budget for the independent unsolvability \
+                   re-search (0 disables).")
+  in
+  let run spec gspec k budget recheck_budget machine =
+    let last_problem, support =
+      match (parse_problem spec, parse_graph gspec) with
+      | p, g -> (p, g)
+      | exception Invalid_argument msg ->
+          Printf.eprintf "audit: %s\n" msg;
+          exit 2
+    in
+    let res = Core.Framework.analyze ~max_nodes:budget support ~last_problem ~k in
+    Format.printf "%a@." Core.Framework.pp_result res;
+    let diags = Chk.audit ~support ~last_problem ~k ~recheck_budget res in
+    report_and_exit ~machine diags
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run the Theorem 3.4 pipeline and re-validate the resulting \
+             certificate")
+    Term.(const run $ problem_arg $ graph_arg 1 $ k $ budget $ recheck_budget
+          $ machine_flag)
+
 let gen_cmd =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Target node count.") in
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree.") in
@@ -292,4 +418,18 @@ let () =
     Cmd.info "slocal" ~version:"1.0.0"
       ~doc:"Round elimination and lower bounds in the Supported LOCAL model"
   in
-  exit (Cmd.eval (Cmd.group info [ diagram_cmd; re_cmd; lift_cmd; solve_cmd; bounds_cmd; gen_cmd; sequence_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            diagram_cmd;
+            re_cmd;
+            lift_cmd;
+            solve_cmd;
+            bounds_cmd;
+            gen_cmd;
+            sequence_cmd;
+            export_cmd;
+            lint_cmd;
+            audit_cmd;
+          ]))

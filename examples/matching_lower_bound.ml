@@ -16,13 +16,10 @@
    Run with: dune exec examples/matching_lower_bound.exe *)
 
 module Gen = Slocal_graph.Graph_gen
-module Graph = Slocal_graph.Graph
 module Bipartite = Slocal_graph.Bipartite
 module Girth = Slocal_graph.Girth
 module Prng = Slocal_util.Prng
 module MF = Slocal_problems.Matching_family
-module Solver = Slocal_model.Solver
-module Lift = Supported_local.Lift
 module Counting = Supported_local.Counting
 module Bounds = Supported_local.Bounds
 module Framework = Supported_local.Framework

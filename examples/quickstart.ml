@@ -13,8 +13,6 @@
 open Slocal_formalism
 module Gen = Slocal_graph.Graph_gen
 module Bipartite = Slocal_graph.Bipartite
-module Girth = Slocal_graph.Girth
-module Solver = Slocal_model.Solver
 module Lift = Supported_local.Lift
 module Zero_round = Supported_local.Zero_round
 

@@ -22,7 +22,6 @@ module Bipartite = Slocal_graph.Bipartite
 module Girth = Slocal_graph.Girth
 module Prng = Slocal_util.Prng
 module Classic = Slocal_problems.Classic
-module Solver = Slocal_model.Solver
 module Zero_round = Supported_local.Zero_round
 module Framework = Supported_local.Framework
 module Re_supported = Supported_local.Re_supported

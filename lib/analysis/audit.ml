@@ -1,0 +1,123 @@
+open Slocal_graph
+open Slocal_formalism
+module Checker = Slocal_model.Checker
+module Solver = Slocal_model.Solver
+module Framework = Supported_local.Framework
+module Lift = Supported_local.Lift
+module Re_supported = Supported_local.Re_supported
+module D = Diagnostic
+
+let audit_result ~support ~last_problem ~k ?(recheck_budget = 2_000_000)
+    (res : Framework.result) =
+  let subject =
+    Printf.sprintf "%s@k=%d" res.Framework.lift.Lift.problem.Problem.name k
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let g = Bipartite.graph support in
+  (* SL030: the lift must belong to the stated inputs. *)
+  if not (Problem.equal res.Framework.lift.Lift.base last_problem) then
+    add
+      (D.error ~code:"SL030" ~subject
+         (Printf.sprintf
+            "certificate's lift was built from problem %s, not from the \
+             stated last problem %s"
+            res.Framework.lift.Lift.base.Problem.name
+            last_problem.Problem.name));
+  let dw = Bipartite.white_degree support
+  and db = Bipartite.black_degree support in
+  if Bipartite.is_biregular support ~dw ~db then begin
+    if res.Framework.lift.Lift.delta <> dw || res.Framework.lift.Lift.r <> db
+    then
+      add
+        (D.error ~code:"SL030" ~subject
+           (Printf.sprintf
+              "lift degrees (Δ=%d, r=%d) do not match the support's \
+               biregular degrees (%d, %d)"
+              res.Framework.lift.Lift.delta res.Framework.lift.Lift.r dw db))
+  end
+  else
+    add
+      (D.error ~code:"SL030" ~subject
+         "support graph is not biregular: the Theorem 3.2 reduction does \
+          not apply");
+  (* SL035: recorded support statistics. *)
+  if res.Framework.support_nodes <> Graph.n g then
+    add
+      (D.error ~code:"SL035" ~subject
+         (Printf.sprintf "recorded %d support nodes, the support has %d"
+            res.Framework.support_nodes (Graph.n g)));
+  let girth = Girth.girth g in
+  if res.Framework.girth <> girth then
+    add
+      (D.error ~code:"SL035" ~subject
+         (Printf.sprintf "recorded girth %s, recomputed girth %s"
+            (match res.Framework.girth with
+            | None -> "∞"
+            | Some x -> string_of_int x)
+            (match girth with None -> "∞" | Some x -> string_of_int x)));
+  (* Certificate replay and SL032 round arithmetic, against the
+     recomputed girth (garbage girth must not excuse garbage rounds). *)
+  let expected_det_rounds =
+    match (res.Framework.certificate, girth) with
+    | Framework.Unsolvable_by_search, Some girth ->
+        Some (max 0 (Re_supported.theorem_b2 ~k ~girth))
+    | Framework.Unsolvable_by_search, None -> Some (2 * k)
+    | (Framework.Solvable _ | Framework.Undecided), _ -> None
+  in
+  if res.Framework.det_rounds <> expected_det_rounds then
+    add
+      (D.error ~code:"SL032" ~subject ~location:D.Certificate
+         (Printf.sprintf
+            "det_rounds is %s but min {2k, (g-4)/2} gives %s"
+            (match res.Framework.det_rounds with
+            | None -> "absent"
+            | Some x -> string_of_int x)
+            (match expected_det_rounds with
+            | None -> "no bound (certificate is not unsolvability)"
+            | Some x -> string_of_int x)));
+  (match res.Framework.certificate with
+  | Framework.Solvable assignment ->
+      if Array.length assignment <> Graph.m g then
+        add
+          (D.error ~code:"SL031" ~subject ~location:D.Certificate
+             (Printf.sprintf
+                "solution assigns %d edges, the support has %d"
+                (Array.length assignment) (Graph.m g)))
+      else if
+        not
+          (Checker.is_solution support res.Framework.lift.Lift.problem
+             assignment)
+      then
+        add
+          (D.error ~code:"SL031" ~subject ~location:D.Certificate
+             "claimed lift solution fails the checker replay")
+      else
+        add
+          (D.info ~code:"SL034" ~subject ~location:D.Certificate
+             "lift is solvable on this support: no lower bound follows \
+              from this graph");
+  | Framework.Undecided ->
+      add
+        (D.warning ~code:"SL033" ~subject ~location:D.Certificate
+           "certificate is Undecided (solver budget exhausted): nothing \
+            was established")
+  | Framework.Unsolvable_by_search ->
+      if recheck_budget > 0 then (
+        match
+          Solver.solve ~max_nodes:recheck_budget support
+            res.Framework.lift.Lift.problem
+        with
+        | Solver.Solution _ ->
+            add
+              (D.error ~code:"SL036" ~subject ~location:D.Certificate
+                 "unsolvability certificate refuted: an independent \
+                  re-search found a lift solution")
+        | Solver.No_solution -> ()
+        | Solver.Budget_exceeded ->
+            add
+              (D.info ~code:"SL037" ~subject ~location:D.Certificate
+                 (Printf.sprintf
+                    "unsolvability re-search undecided within the audit \
+                     budget (%d nodes)" recheck_budget))));
+  List.rev !diags

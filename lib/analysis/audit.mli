@@ -1,0 +1,33 @@
+(** Certificate auditing for framework results (SL03x).
+
+    A {!Supported_local.Framework.result} is the final artifact of a
+    lower-bound run: a lift, a solvability certificate, and a claimed
+    round bound.  The auditor re-validates the whole record against
+    the inputs that allegedly produced it:
+
+    - the lift must be the lift of the stated last problem at the
+      support's degrees (SL030);
+    - a [Solvable] assignment is replayed through
+      {!Slocal_model.Checker} (SL031);
+    - [det_rounds] is cross-checked against the Theorem B.2 formula
+      [min {2k, (g-4)/2}] (SL032);
+    - the recorded girth and node count must match the support
+      (SL035);
+    - an [Unsolvable_by_search] certificate is re-searched within a
+      budget: a solution found refutes it (SL036), budget exhaustion
+      is reported as info (SL037);
+    - [Undecided] certificates are flagged as warnings (SL033), and
+      [Solvable] ones as info — no lower bound follows (SL034). *)
+
+open Slocal_graph
+open Slocal_formalism
+
+val audit_result :
+  support:Bipartite.t ->
+  last_problem:Problem.t ->
+  k:int ->
+  ?recheck_budget:int ->
+  Supported_local.Framework.result ->
+  Diagnostic.t list
+(** [recheck_budget] (default [2_000_000] search nodes) bounds the
+    re-search of unsolvability certificates; [0] disables it. *)

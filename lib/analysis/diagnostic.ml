@@ -1,0 +1,120 @@
+type severity = Error | Warning | Info
+
+type side = White | Black
+
+type location =
+  | Whole
+  | Label of string
+  | Label_pair of string * string
+  | Config of side * string
+  | Source_line of side * int
+  | Certificate
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  location : location;
+  message : string;
+}
+
+let valid_code code =
+  String.length code = 5
+  && String.sub code 0 2 = "SL"
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub code 2 3)
+
+let make ~code severity ~subject ?(location = Whole) message =
+  if not (valid_code code) then
+    invalid_arg (Printf.sprintf "Diagnostic.make: malformed code %S" code);
+  { code; severity; subject; location; message }
+
+let error ~code ~subject ?location message =
+  make ~code Error ~subject ?location message
+
+let warning ~code ~subject ?location message =
+  make ~code Warning ~subject ?location message
+
+let info ~code ~subject ?location message =
+  make ~code Info ~subject ?location message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let side_to_string = function White -> "white" | Black -> "black"
+
+let location_to_string = function
+  | Whole -> "-"
+  | Label l -> Printf.sprintf "label %s" l
+  | Label_pair (a, b) -> Printf.sprintf "labels %s,%s" a b
+  | Config (side, c) -> Printf.sprintf "%s config `%s`" (side_to_string side) c
+  | Source_line (side, i) -> Printf.sprintf "%s line %d" (side_to_string side) i
+  | Certificate -> "certificate"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.subject b.subject in
+      if c <> 0 then c
+      else Stdlib.compare (a.location, a.message) (b.location, b.message)
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d ->
+             if severity_rank d.severity < severity_rank acc then d.severity
+             else acc)
+           Info ds)
+
+let exit_code ds =
+  match max_severity ds with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s @@ %s: %s"
+    (severity_to_string d.severity)
+    d.code d.subject
+    (location_to_string d.location)
+    d.message
+
+(* Machine lines must stay one physical line per diagnostic. *)
+let escape_field s =
+  String.concat ""
+    (List.map
+       (function
+         | '\t' -> "\\t" | '\n' -> "\\n" | '\r' -> "" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_machine_string d =
+  String.concat "\t"
+    [
+      d.code;
+      severity_to_string d.severity;
+      escape_field d.subject;
+      escape_field (location_to_string d.location);
+      escape_field d.message;
+    ]
+
+let pp_report ~machine fmt ds =
+  let ds = List.sort compare ds in
+  if machine then
+    List.iter (fun d -> Format.fprintf fmt "%s@." (to_machine_string d)) ds
+  else begin
+    List.iter (fun d -> Format.fprintf fmt "%a@." pp d) ds;
+    let count sev =
+      List.length (List.filter (fun d -> d.severity = sev) ds)
+    in
+    Format.fprintf fmt "%d error(s), %d warning(s), %d info@." (count Error)
+      (count Warning) (count Info)
+  end

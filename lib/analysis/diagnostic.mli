@@ -1,0 +1,63 @@
+(** Diagnostics for the static-analysis layer.
+
+    Every invariant checker reports its findings as a list of
+    diagnostics: a stable code ([SL001], [SL010], …), a severity, the
+    subject being analyzed (a problem name, a lift, a certificate), a
+    location inside it (a label, a configuration in the condensed
+    syntax, a source line), and a human-readable message.  The codes
+    are part of the tool's contract — tests and CI match on them — and
+    are catalogued in {!Check.code_table}. *)
+
+type severity = Error | Warning | Info
+
+type side = White | Black
+
+type location =
+  | Whole  (** The subject as a whole. *)
+  | Label of string  (** An alphabet label, by name. *)
+  | Label_pair of string * string  (** A pair of labels (e.g. a broken relation edge). *)
+  | Config of side * string  (** A configuration, rendered in condensed syntax. *)
+  | Source_line of side * int  (** 1-based line within a side's condensed source. *)
+  | Certificate  (** The certificate field of a framework result. *)
+
+type t = {
+  code : string;  (** Stable code, [SLnnn]. *)
+  severity : severity;
+  subject : string;  (** What was analyzed: problem name, file path, … *)
+  location : location;
+  message : string;
+}
+
+val make :
+  code:string -> severity -> subject:string -> ?location:location -> string -> t
+(** @raise Invalid_argument if [code] is not of the form [SLnnn]. *)
+
+val error : code:string -> subject:string -> ?location:location -> string -> t
+val warning : code:string -> subject:string -> ?location:location -> string -> t
+val info : code:string -> subject:string -> ?location:location -> string -> t
+
+val severity_to_string : severity -> string
+val location_to_string : location -> string
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties broken by code,
+    subject, and location — a stable presentation order. *)
+
+val max_severity : t list -> severity option
+(** [None] on the empty list. *)
+
+val exit_code : t list -> int
+(** The CLI contract: 0 if no diagnostic is worse than [Info], 1 if the
+    worst is a [Warning], 2 if any [Error] is present. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering:
+    [error[SL001] mm3 @ label O: message]. *)
+
+val to_machine_string : t -> string
+(** Tab-separated [code severity subject location message] — one line,
+    greppable, stable field order. *)
+
+val pp_report : machine:bool -> Format.formatter -> t list -> unit
+(** Sorted rendering of a diagnostic list followed (in human mode) by a
+    one-line summary count. *)

@@ -1,0 +1,55 @@
+(** Invariant checkers for the formalism layer.
+
+    Each function re-derives a structural property of the paper from
+    first principles — independently of the code path that originally
+    computed it — and reports any disagreement as diagnostics:
+
+    - {!problem_checks}: well-formedness of a problem (unused labels,
+      labels unusable on biregular supports, empty constraints, target
+      support degrees below the arities);
+    - {!diagram_checks}: the strength relation of Definition 2.x is
+      recomputed by direct substitution and compared against
+      {!Slocal_formalism.Diagram}; reflexivity, transitivity, and the
+      fixpoint property of the right-closed set family are asserted;
+    - {!lift_checks}: the lift alphabet must be exactly the non-empty
+      right-closed sets of the black diagram (Definition 3.1), every
+      configuration must satisfy the universal/existential choice
+      conditions, and — within a budget — no satisfying configuration
+      may be missing;
+    - {!grounding_checks}: a round elimination step's grounding must
+      only mention generated labels and carry non-empty, distinct
+      label-set meanings.
+
+    All checkers are pure; they never raise on malformed input, they
+    report. *)
+
+open Slocal_formalism
+
+val problem_checks : ?delta:int -> ?r:int -> Problem.t -> Diagnostic.t list
+(** SL001 (unused label), SL002 (one-sided label), SL003 (empty
+    constraint), SL006 (target degree below arity, only when [delta] /
+    [r] are given). *)
+
+val diagram_checks : Problem.t -> Diagnostic.t list
+(** SL010 (relation mismatch vs independent recomputation), SL011
+    (reflexivity), SL012 (transitivity), SL013 (right-closed family not
+    the fixpoints of right-closure), SL014 (info: exhaustive
+    enumeration skipped on large alphabets).  Both the white and the
+    black diagram are checked. *)
+
+val lift_checks : ?completeness_budget:int -> Supported_local.Lift.t -> Diagnostic.t list
+(** SL020 (alphabet is not the right-closed set family), SL021
+    (meaning empty / not right-closed), SL022 (arity or metadata
+    inconsistency), SL023 (configuration violating Definition 3.1),
+    SL024 (missing configuration), SL025 (info: completeness check
+    skipped because the candidate space exceeds
+    [completeness_budget], default 200_000). *)
+
+val grounding_checks : prev:Problem.t -> Re_step.grounding -> Diagnostic.t list
+(** SL026: meanings array inconsistent with the generated alphabet,
+    empty or duplicate meanings, or meanings mentioning labels outside
+    the previous alphabet. *)
+
+val config_string : Alphabet.t -> Slocal_util.Multiset.t -> string
+(** A configuration in the condensed syntax (label names joined by
+    spaces) — used for diagnostic locations. *)

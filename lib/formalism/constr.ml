@@ -11,7 +11,7 @@ type t = {
   configs : Config_set.t;
   (* Downward closure by size, built lazily: down.(k) is the set of all
      size-k sub-multisets of configurations. *)
-  mutable down : Config_set.t option array;
+  down : Config_set.t option array;
 }
 
 let make ~arity config_list =

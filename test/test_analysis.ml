@@ -1,0 +1,509 @@
+(* Tests for the static-analysis layer: the diagnostic engine, the
+   invariant checkers on clean built-in problems, the broken fixture
+   documents (each SL code fires), fabricated lifts / groundings /
+   certificates, and the property tests (document round-trip, diagram
+   transitivity on randomized constraints). *)
+
+module Alphabet = Slocal_formalism.Alphabet
+module Constr = Slocal_formalism.Constr
+module Problem = Slocal_formalism.Problem
+module Diagram = Slocal_formalism.Diagram
+module Re_step = Slocal_formalism.Re_step
+module Bipartite = Slocal_graph.Bipartite
+module Gen = Slocal_graph.Graph_gen
+module Bitset = Slocal_util.Bitset
+module Multiset = Slocal_util.Multiset
+module Combinat = Slocal_util.Combinat
+module Prng = Slocal_util.Prng
+module Lift = Supported_local.Lift
+module Framework = Supported_local.Framework
+module D = Slocal_analysis.Diagnostic
+module Invariants = Slocal_analysis.Invariants
+module Audit = Slocal_analysis.Audit
+module Source = Slocal_analysis.Source
+module Check = Slocal_analysis.Check
+module MF = Slocal_problems.Matching_family
+module CF = Slocal_problems.Coloring_family
+module RF = Slocal_problems.Ruling_family
+module Classic = Slocal_problems.Classic
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let codes diags = List.sort_uniq compare (List.map (fun d -> d.D.code) diags)
+let has_code c diags = List.mem c (codes diags)
+
+let errors diags = List.filter (fun d -> d.D.severity = D.Error) diags
+
+let mm3 =
+  Problem.parse ~name:"mm3" ~labels:[ "M"; "O"; "P" ] ~white:"M O^2 | P^3"
+    ~black:"M [O P]^2 | O^3"
+
+(* Every problem family exercised by the acceptance criteria. *)
+let builtin_families =
+  [
+    MF.maximal_matching ~delta:3;
+    MF.maximal_matching ~delta:4;
+    MF.pi ~delta:3 ~x:0 ~y:1;
+    MF.pi ~delta:4 ~x:1 ~y:1;
+    CF.pi ~delta:3 ~c:2;
+    CF.pi ~delta:2 ~c:3;
+    RF.pi ~delta:3 ~c:2 ~beta:1;
+    RF.pi ~delta:2 ~c:2 ~beta:2;
+    Classic.sinkless_orientation ~delta:3;
+    Classic.sinkless_coloring ~delta:3;
+    Classic.coloring ~delta:2 ~c:2;
+    Classic.coloring ~delta:3 ~c:3;
+    Classic.mis_family ~delta:3;
+    Classic.ruling_set_family ~delta:3 ~beta:2;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic engine *)
+
+let test_diagnostic_basics () =
+  let d = D.error ~code:"SL010" ~subject:"p" ~location:(D.Label "M") "msg" in
+  check Alcotest.string "machine" "SL010\terror\tp\tlabel M\tmsg"
+    (D.to_machine_string d);
+  Alcotest.check_raises "bad code"
+    (Invalid_argument "Diagnostic.make: malformed code \"X1\"") (fun () ->
+      ignore (D.error ~code:"X1" ~subject:"p" "msg"));
+  let w = D.warning ~code:"SL001" ~subject:"p" "w" in
+  let i = D.info ~code:"SL014" ~subject:"p" "i" in
+  check int_t "exit empty" 0 (D.exit_code []);
+  check int_t "exit info" 0 (D.exit_code [ i ]);
+  check int_t "exit warning" 1 (D.exit_code [ i; w ]);
+  check int_t "exit error" 2 (D.exit_code [ w; d; i ]);
+  (* Sorted report puts the error first. *)
+  check bool_t "error sorts first" true
+    (List.hd (List.sort D.compare [ i; w; d ]) == d)
+
+let test_code_table_consistent () =
+  (* Codes ascending and unique; severities match what checkers emit. *)
+  let cs = List.map (fun e -> e.Check.code) Check.code_table in
+  check bool_t "sorted unique" true (List.sort_uniq compare cs = cs);
+  check bool_t "SL000 present" true (Check.find_entry "SL000" <> None);
+  check bool_t "unknown absent" true (Check.find_entry "SL999" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Clean built-in problems: the acceptance criterion *)
+
+let test_builtins_lint_clean () =
+  List.iter
+    (fun p ->
+      let diags = Check.lint_problem p in
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "%s lints clean" p.Problem.name)
+        []
+        (List.map D.to_machine_string (errors diags)))
+    builtin_families
+
+let test_re_chain_clean () =
+  let diags = Check.lint_re_chain mm3 ~steps:2 in
+  check int_t "re chain clean" 0 (List.length diags)
+
+let test_lift_of_builtins_clean () =
+  List.iter
+    (fun (p, delta, r) ->
+      let l = Lift.lift ~delta ~r p in
+      let diags = Invariants.lift_checks l in
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "lift of %s clean" p.Problem.name)
+        []
+        (List.map D.to_machine_string (errors diags)))
+    [
+      (mm3, 3, 3);
+      (mm3, 4, 4);
+      (Classic.sinkless_orientation ~delta:3, 4, 4);
+      (Classic.coloring ~delta:2 ~c:2, 2, 2);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Broken fixtures: every source-level code fires *)
+
+let fixture name = Filename.concat "fixtures" name
+
+let test_fixture_undeclared_label () =
+  let p, diags = Source.lint_file (fixture "undeclared_label.slp") in
+  check bool_t "no problem" true (p = None);
+  check (Alcotest.list Alcotest.string) "SL000" [ "SL000" ] (codes diags)
+
+let test_fixture_unused_label () =
+  let diags = Check.lint_file (fixture "unused_label.slp") in
+  check bool_t "SL001 fires" true (has_code "SL001" diags);
+  check int_t "no errors" 0 (List.length (errors diags))
+
+let test_fixture_one_sided_label () =
+  let diags = Check.lint_file (fixture "one_sided_label.slp") in
+  check bool_t "SL002 fires" true (has_code "SL002" diags)
+
+let test_fixture_duplicate_config () =
+  let diags = Check.lint_file (fixture "duplicate_config.slp") in
+  check bool_t "SL004 fires" true (has_code "SL004" diags)
+
+let test_fixture_noncanonical () =
+  let diags = Check.lint_file (fixture "noncanonical.slp") in
+  check bool_t "SL005 fires" true (has_code "SL005" diags);
+  (* Three distinct findings on the one white line. *)
+  check int_t "three SL005" 3
+    (List.length (List.filter (fun d -> d.D.code = "SL005") diags))
+
+let test_missing_file () =
+  let diags = Check.lint_file "fixtures/does_not_exist.slp" in
+  check bool_t "SL000 fires" true (has_code "SL000" diags)
+
+(* ------------------------------------------------------------------ *)
+(* API-level well-formedness codes *)
+
+let test_empty_constraint_sl003 () =
+  let p =
+    Problem.make ~name:"empty-white"
+      ~alphabet:(Alphabet.of_names [ "A" ])
+      ~white:(Constr.make ~arity:2 [])
+      ~black:(Constr.make ~arity:2 [ Multiset.of_list [ 0; 0 ] ])
+  in
+  let diags = Invariants.problem_checks p in
+  check bool_t "SL003 fires" true (has_code "SL003" diags)
+
+let test_degree_mismatch_sl006 () =
+  let diags = Invariants.problem_checks ~delta:1 ~r:2 mm3 in
+  check bool_t "SL006 fires" true (has_code "SL006" diags);
+  let clean = Invariants.problem_checks ~delta:3 ~r:5 mm3 in
+  check bool_t "clean at large degrees" false (has_code "SL006" clean)
+
+(* ------------------------------------------------------------------ *)
+(* Fabricated lifts: the non-right-closed lift set scenario *)
+
+let test_fabricated_lift_non_right_closed () =
+  let l = Lift.lift ~delta:3 ~r:3 mm3 in
+  (* {P} is not right-closed in the mm3 black diagram (O is stronger
+     than P), so planting it as a meaning must trip both the family
+     check and the per-label check. *)
+  let dia = Diagram.black mm3 in
+  let p_label = Alphabet.find_exn mm3.Problem.alphabet "P" in
+  let bad_set = Bitset.singleton p_label in
+  check bool_t "precondition: {P} not closed" false
+    (Diagram.is_right_closed dia bad_set);
+  let meaning = Array.copy l.Lift.meaning in
+  meaning.(0) <- bad_set;
+  let diags = Invariants.lift_checks { l with Lift.meaning } in
+  check bool_t "SL020 fires" true (has_code "SL020" diags);
+  check bool_t "SL021 fires" true (has_code "SL021" diags)
+
+let test_fabricated_lift_metadata () =
+  let l = Lift.lift ~delta:3 ~r:3 mm3 in
+  let diags = Invariants.lift_checks { l with Lift.delta = 4 } in
+  check bool_t "SL022 fires" true (has_code "SL022" diags)
+
+let test_fabricated_lift_configs () =
+  let l = Lift.lift ~delta:3 ~r:3 mm3 in
+  let lifted = l.Lift.problem in
+  let white = lifted.Problem.white in
+  let n = Alphabet.size lifted.Problem.alphabet in
+  (* Any multiset of lift labels missing from the (complete) white
+     constraint must violate Definition 3.1: planting it triggers
+     SL023; removing a genuine configuration triggers SL024. *)
+  let absent =
+    List.find
+      (fun labels -> not (Constr.mem (Multiset.of_list labels) white))
+      (Combinat.multisets_of_size (Constr.arity white)
+         (List.init n (fun i -> i)))
+  in
+  let with_junk =
+    Constr.make ~arity:(Constr.arity white)
+      (Multiset.of_list absent :: Constr.configs white)
+  in
+  let problem_junk =
+    Problem.make ~name:lifted.Problem.name
+      ~alphabet:lifted.Problem.alphabet ~white:with_junk
+      ~black:lifted.Problem.black
+  in
+  check bool_t "SL023 fires" true
+    (has_code "SL023"
+       (Invariants.lift_checks { l with Lift.problem = problem_junk }));
+  let without_first =
+    Constr.make ~arity:(Constr.arity white) (List.tl (Constr.configs white))
+  in
+  let problem_missing =
+    Problem.make ~name:lifted.Problem.name
+      ~alphabet:lifted.Problem.alphabet ~white:without_first
+      ~black:lifted.Problem.black
+  in
+  check bool_t "SL024 fires" true
+    (has_code "SL024"
+       (Invariants.lift_checks { l with Lift.problem = problem_missing }))
+
+let test_fabricated_grounding () =
+  let g = Re_step.r_black mm3 in
+  check int_t "genuine grounding clean" 0
+    (List.length (Invariants.grounding_checks ~prev:mm3 g));
+  let meaning = Array.map (fun _ -> Bitset.empty) g.Re_step.meaning in
+  let diags =
+    Invariants.grounding_checks ~prev:mm3 { g with Re_step.meaning }
+  in
+  check bool_t "SL026 fires" true (has_code "SL026" diags)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate audits: genuine and fabricated *)
+
+let c6 =
+  let g = Gen.cycle 6 in
+  Bipartite.make g
+    (Array.init 6 (fun v ->
+         if v mod 2 = 0 then Bipartite.White else Bipartite.Black))
+
+let c4 =
+  let g = Gen.cycle 4 in
+  Bipartite.make g
+    (Array.init 4 (fun v ->
+         if v mod 2 = 0 then Bipartite.White else Bipartite.Black))
+
+let col2 = Classic.coloring ~delta:2 ~c:2
+
+let audit ?recheck_budget support res =
+  Audit.audit_result ~support ~last_problem:col2 ~k:1 ?recheck_budget res
+
+let test_audit_genuine_unsolvable () =
+  (* 2-coloring of C6: the lift is unsolvable, det >= 1. *)
+  let res = Framework.analyze c6 ~last_problem:col2 ~k:1 in
+  check bool_t "precondition: unsolvable" true
+    (res.Framework.certificate = Framework.Unsolvable_by_search);
+  check (Alcotest.option int_t) "det rounds" (Some 1)
+    res.Framework.det_rounds;
+  check int_t "audit clean" 0 (List.length (audit c6 res))
+
+let test_audit_genuine_solvable () =
+  (* 2-coloring of C4 is solvable: only the SL034 info. *)
+  let res = Framework.analyze c4 ~last_problem:col2 ~k:1 in
+  let diags = audit c4 res in
+  check (Alcotest.list Alcotest.string) "only SL034" [ "SL034" ] (codes diags);
+  check int_t "exit code 0" 0 (D.exit_code diags)
+
+let test_audit_fabricated_certificate () =
+  let res = Framework.analyze c6 ~last_problem:col2 ~k:1 in
+  (* Tampered round count. *)
+  check bool_t "SL032 fires" true
+    (has_code "SL032" (audit c6 { res with Framework.det_rounds = Some 99 }));
+  (* Tampered solvability: a wrong-length edge labeling. *)
+  let forged =
+    {
+      res with
+      Framework.certificate = Framework.Solvable (Array.make 17 0);
+      det_rounds = None;
+    }
+  in
+  check bool_t "SL031 fires" true (has_code "SL031" (audit c6 forged));
+  (* A certificate whose claimed solution fails the checker replay. *)
+  let forged_bad_labels =
+    {
+      res with
+      Framework.certificate = Framework.Solvable (Array.make 6 0);
+      det_rounds = None;
+    }
+  in
+  check bool_t "SL031 fires on replay" true
+    (has_code "SL031" (audit c6 forged_bad_labels));
+  (* Undecided: warning only. *)
+  let undecided =
+    { res with Framework.certificate = Framework.Undecided; det_rounds = None }
+  in
+  check bool_t "SL033 fires" true (has_code "SL033" (audit c6 undecided));
+  (* Tampered support statistics. *)
+  check bool_t "SL035 fires" true
+    (has_code "SL035" (audit c6 { res with Framework.girth = Some 99 }));
+  check bool_t "SL035 fires on node count" true
+    (has_code "SL035" (audit c6 { res with Framework.support_nodes = 7 }))
+
+let test_audit_refutes_fabricated_unsolvability () =
+  (* C4 is solvable; claiming unsolvability must be refuted by the
+     independent re-search. *)
+  let res = Framework.analyze c4 ~last_problem:col2 ~k:1 in
+  check bool_t "precondition: solvable" true
+    (match res.Framework.certificate with
+    | Framework.Solvable _ -> true
+    | _ -> false);
+  let girth = match res.Framework.girth with Some g -> g | None -> 0 in
+  let forged =
+    {
+      res with
+      Framework.certificate = Framework.Unsolvable_by_search;
+      det_rounds =
+        Some (max 0 (Supported_local.Re_supported.theorem_b2 ~k:1 ~girth));
+    }
+  in
+  check bool_t "SL036 fires" true (has_code "SL036" (audit c4 forged));
+  (* With the re-search budget off, the forgery goes unnoticed. *)
+  check bool_t "SL036 silent without budget" false
+    (has_code "SL036" (audit ~recheck_budget:0 c4 forged))
+
+let test_audit_wrong_last_problem () =
+  let res = Framework.analyze c6 ~last_problem:col2 ~k:1 in
+  let diags =
+    Audit.audit_result ~support:c6 ~last_problem:mm3 ~k:1 res
+  in
+  check bool_t "SL030 fires" true (has_code "SL030" diags)
+
+(* ------------------------------------------------------------------ *)
+(* Budget infos on large alphabets *)
+
+let test_large_alphabet_budget_infos () =
+  let p = Classic.coloring ~delta:2 ~c:17 in
+  let diags = Check.lint_problem p in
+  check int_t "no errors" 0 (List.length (errors diags));
+  check bool_t "SL014 fires" true (has_code "SL014" diags);
+  check bool_t "SL025 fires" true (has_code "SL025" diags)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let test_roundtrip_all_families () =
+  List.iter
+    (fun p ->
+      let p' = Problem.of_string (Problem.to_string p) in
+      check bool_t
+        (Printf.sprintf "%s round-trips" p.Problem.name)
+        true (Problem.equal p p'))
+    builtin_families
+
+(* A random constraint over [n] labels with the given arity. *)
+let random_constraint rng ~n ~arity =
+  let n_configs = 1 + Prng.int rng 6 in
+  Constr.make ~arity
+    (List.init n_configs (fun _ ->
+         Multiset.of_list (List.init arity (fun _ -> Prng.int rng n))))
+
+let test_diagram_transitive_randomized () =
+  let rng = Prng.create 0xD1A6 in
+  for _ = 1 to 150 do
+    let n = 2 + Prng.int rng 4 in
+    let arity = 1 + Prng.int rng 3 in
+    let constr = random_constraint rng ~n ~arity in
+    let dia = Diagram.of_constraint ~alphabet_size:n constr in
+    for x = 0 to n - 1 do
+      if not (Diagram.stronger dia x x) then Alcotest.fail "not reflexive";
+      for y = 0 to n - 1 do
+        for z = 0 to n - 1 do
+          if
+            Diagram.stronger dia z y
+            && Diagram.stronger dia x z
+            && not (Diagram.stronger dia x y)
+          then Alcotest.fail "not transitive"
+        done
+      done
+    done
+  done
+
+let test_diagram_checks_randomized () =
+  (* The full analysis (independent recomputation, closure fixpoints)
+     agrees with the Diagram module on randomized problems. *)
+  let rng = Prng.create 0x5EED in
+  for _ = 1 to 40 do
+    let n = 2 + Prng.int rng 3 in
+    let w_arity = 1 + Prng.int rng 2 and b_arity = 1 + Prng.int rng 2 in
+    let p =
+      Problem.make
+        ~name:(Printf.sprintf "random-%d" (Prng.int rng 1_000_000))
+        ~alphabet:
+          (Alphabet.of_names
+             (List.init n (fun i -> Printf.sprintf "L%d" i)))
+        ~white:(random_constraint rng ~n ~arity:w_arity)
+        ~black:(random_constraint rng ~n ~arity:b_arity)
+    in
+    let diags = Invariants.diagram_checks p in
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "%s diagram checks clean" p.Problem.name)
+      []
+      (List.map D.to_machine_string (errors diags))
+  done
+
+let test_roundtrip_randomized () =
+  let rng = Prng.create 0x0F00D in
+  for _ = 1 to 60 do
+    let n = 1 + Prng.int rng 5 in
+    let w_arity = 1 + Prng.int rng 3 and b_arity = 1 + Prng.int rng 3 in
+    let p =
+      Problem.make ~name:"random-roundtrip"
+        ~alphabet:
+          (Alphabet.of_names (List.init n (fun i -> Printf.sprintf "L%d" i)))
+        ~white:(random_constraint rng ~n ~arity:w_arity)
+        ~black:(random_constraint rng ~n ~arity:b_arity)
+    in
+    check bool_t "random problem round-trips" true
+      (Problem.equal p (Problem.of_string (Problem.to_string p)))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "basics" `Quick test_diagnostic_basics;
+          Alcotest.test_case "code table" `Quick test_code_table_consistent;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "builtins lint clean" `Quick
+            test_builtins_lint_clean;
+          Alcotest.test_case "re chain clean" `Quick test_re_chain_clean;
+          Alcotest.test_case "lifts clean" `Quick test_lift_of_builtins_clean;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "undeclared label" `Quick
+            test_fixture_undeclared_label;
+          Alcotest.test_case "unused label" `Quick test_fixture_unused_label;
+          Alcotest.test_case "one-sided label" `Quick
+            test_fixture_one_sided_label;
+          Alcotest.test_case "duplicate config" `Quick
+            test_fixture_duplicate_config;
+          Alcotest.test_case "non-canonical" `Quick test_fixture_noncanonical;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "wellformedness",
+        [
+          Alcotest.test_case "empty constraint" `Quick
+            test_empty_constraint_sl003;
+          Alcotest.test_case "degree mismatch" `Quick
+            test_degree_mismatch_sl006;
+        ] );
+      ( "lift",
+        [
+          Alcotest.test_case "non-right-closed meaning" `Quick
+            test_fabricated_lift_non_right_closed;
+          Alcotest.test_case "metadata" `Quick test_fabricated_lift_metadata;
+          Alcotest.test_case "configs" `Quick test_fabricated_lift_configs;
+          Alcotest.test_case "grounding" `Quick test_fabricated_grounding;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "genuine unsolvable" `Quick
+            test_audit_genuine_unsolvable;
+          Alcotest.test_case "genuine solvable" `Quick
+            test_audit_genuine_solvable;
+          Alcotest.test_case "fabricated certificate" `Quick
+            test_audit_fabricated_certificate;
+          Alcotest.test_case "fabricated unsolvability" `Quick
+            test_audit_refutes_fabricated_unsolvability;
+          Alcotest.test_case "wrong last problem" `Quick
+            test_audit_wrong_last_problem;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "large alphabet infos" `Quick
+            test_large_alphabet_budget_infos;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "families round-trip" `Quick
+            test_roundtrip_all_families;
+          Alcotest.test_case "random round-trip" `Quick
+            test_roundtrip_randomized;
+          Alcotest.test_case "diagram transitive" `Quick
+            test_diagram_transitive_randomized;
+          Alcotest.test_case "diagram checks randomized" `Quick
+            test_diagram_checks_randomized;
+        ] );
+    ]

@@ -8,7 +8,6 @@ module Graph = Slocal_graph.Graph
 module Bipartite = Slocal_graph.Bipartite
 module Hypergraph = Slocal_graph.Hypergraph
 module Gen = Slocal_graph.Graph_gen
-module Girth = Slocal_graph.Girth
 module Coloring = Slocal_graph.Coloring
 module Prng = Slocal_util.Prng
 module Bitset = Slocal_util.Bitset
