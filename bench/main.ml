@@ -23,9 +23,17 @@
 
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- tables  (experiments only)
-             dune exec bench/main.exe -- micro   (microbenchmarks only) *)
+             dune exec bench/main.exe -- micro   (microbenchmarks only)
+
+   Machine-readable output: [--json FILE] writes a slocal.bench/1
+   document with per-experiment wall-clock timings and kernel-counter
+   deltas (and ns/run for the microbenchmarks); [--quick] restricts the
+   experiments to the cheap CI smoke subset; [validate FILE] re-checks
+   a previously written JSON file against the schema. *)
 
 open Slocal_formalism
+module Telemetry = Slocal_obs.Telemetry
+module Json = Slocal_obs.Json
 module Gen = Slocal_graph.Graph_gen
 module Graph = Slocal_graph.Graph
 module Bipartite = Slocal_graph.Bipartite
@@ -66,7 +74,6 @@ let bipartite_cycle k =
 (* FIG1 *)
 
 let fig1 () =
-  header "FIG1" "Black diagram of the matching family (paper Figure 1)";
   let show name p =
     Format.printf "%s:@." name;
     Format.printf "  edges: %a@."
@@ -95,7 +102,6 @@ let fig1 () =
 (* FIG2 *)
 
 let fig2 () =
-  header "FIG2" "Black diagram of Π_Δ(c,β) with 3 colors, β = 2 (paper Figure 2)";
   let p = RF.pi ~delta:4 ~c:3 ~beta:2 in
   Format.printf "labels: %s@."
     (String.concat " " (Alphabet.names p.Problem.alphabet));
@@ -108,7 +114,6 @@ let fig2 () =
 (* FIG3 *)
 
 let fig3 () =
-  header "FIG3" "A maximal matching solution in the black-white formalism (Figure 3)";
   let mm = MF.maximal_matching ~delta:3 in
   let support = Gen.double_cover (Gen.petersen ()) in
   (match Solver.solve support mm with
@@ -137,7 +142,6 @@ let fig3 () =
 (* T15 *)
 
 let t15 () =
-  header "T15" "Theorem 1.5/4.1: x-maximal y-matching bounds (Δ = 5Δ', ε = 1)";
   List.iter
     (fun (x, y) ->
       Format.printf "@.x = %d, y = %d:@." x y;
@@ -167,7 +171,6 @@ let t15 () =
 (* T16 *)
 
 let t16 () =
-  header "T16" "Theorem 1.6/5.1: α-arbdefective c-coloring bounds (ε = 0.25)";
   Format.printf "  %6s %6s %5s %4s %12s %12s %14s@." "Δ" "Δ'" "α" "c"
     "det LB" "rand LB" "upper (χ_G)";
   List.iter
@@ -200,7 +203,6 @@ let t16 () =
 (* T17 *)
 
 let t17 () =
-  header "T17" "Theorem 1.7/6.1: arbdefective colored ruling set bounds";
   Format.printf "  %4s %6s %6s %4s %4s %12s %12s %14s@." "β" "Δ" "Δ'" "α" "c"
     "det LB" "rand LB" "upper";
   List.iter
@@ -239,7 +241,6 @@ let t17 () =
 (* T13 *)
 
 let t13 () =
-  header "T13" "Theorem 1.3 / Lemma C.2: derandomization accounting (log₂)";
   Format.printf "graphs (bound 3n²):@.";
   Format.printf "  %5s %12s %12s %12s %12s %12s@." "n" "graphs" "ids" "inputs"
     "total" "bound";
@@ -292,7 +293,6 @@ let all_two_label_problems () =
     nonempty_subsets
 
 let e_lift () =
-  header "E-LIFT" "Theorem 3.2: lift-based decision vs exhaustive 0-round search";
   List.iter
     (fun k ->
       let support = bipartite_cycle k in
@@ -316,7 +316,6 @@ let e_lift () =
 (* E-UNSAT *)
 
 let e_unsat () =
-  header "E-UNSAT" "Lift unsolvability: exact search and counting certificates";
   (* Sinkless orientation: the (4,4) vs (5,5) dichotomy, by search. *)
   let so = Classic.sinkless_orientation ~delta:3 in
   let rng = Prng.create 2024 in
@@ -377,7 +376,6 @@ let e_unsat () =
 (* E-FIX *)
 
 let e_fix () =
-  header "E-FIX" "Lemma 5.4 fixed points and the SO relaxed fixed point";
   List.iter
     (fun (delta, c) ->
       Format.printf "  RE(Π_%d(%d)) = Π_%d(%d) up to renaming: %b@." delta c
@@ -395,7 +393,6 @@ let e_fix () =
 (* E-SEQ *)
 
 let e_seq () =
-  header "E-SEQ" "Lemma 4.5 and Observation 4.3: the matching lower-bound sequence";
   Format.printf "Lemma 4.5 — Π_Δ(x+y,y) relaxes RE(Π_Δ(x,y)):@.";
   List.iter
     (fun (delta, x, y) ->
@@ -424,7 +421,6 @@ let e_seq () =
 (* E-G *)
 
 let e_g () =
-  header "E-G" "The Lemma 2.1 substitute: measured girth and independence";
   Format.printf "  %5s %3s %7s %12s %14s %16s@." "n" "d" "girth" "ε·log_d n"
     "independence" "Alon α·n·ln d/d";
   let rng = Prng.create 7 in
@@ -447,7 +443,6 @@ let e_g () =
 (* E-UB *)
 
 let e_ub () =
-  header "E-UB" "Simulated upper bounds vs the lower-bound formulas";
   let rng = Prng.create 11 in
   Format.printf "MIS (the [AAPR23] algorithm), rounds = support colors:@.";
   Format.printf "  %6s %3s %8s %8s %12s@." "n" "d" "rounds" "valid" "det LB (T17)";
@@ -510,8 +505,6 @@ let e_ub () =
 (* E-HYP *)
 
 let e_hyp () =
-  header "E-HYP"
-    "Corollaries 3.3/3.5/B.3: the hypergraph track via incidence graphs";
   let rng = Prng.create 404 in
   Format.printf "random regular uniform linear hypergraphs:@.";
   Format.printf "  %5s %7s %5s %7s %7s@." "n" "degree" "rank" "linear" "girth";
@@ -543,8 +536,6 @@ let e_hyp () =
 (* E-RAND *)
 
 let e_rand () =
-  header "E-RAND"
-    "Appendix C: randomized baselines vs the deterministic sweep";
   let rng = Prng.create 2025 in
   Format.printf
     "Luby's randomized MIS vs the deterministic χ_G sweep (20 trials each):@.";
@@ -583,7 +574,6 @@ let e_rand () =
 (* E-B1 *)
 
 let e_b1 () =
-  header "E-B1" "Lemma B.1, executable: one round elimination step on algorithms";
   let run name support problem =
     match
       Slocal_model.Zero_round_search.find_algorithm support problem
@@ -650,8 +640,6 @@ let e_b1 () =
 (* E-CYCLE *)
 
 let e_cycle () =
-  header "E-CYCLE"
-    "A complete mini lower bound: 2-coloring needs Θ(n) rounds on cycles";
   let col2 = Classic.coloring ~delta:2 ~c:2 in
   Format.printf "2-coloring is an RE fixed point: %b — so k is unbounded and@."
     (Re_step.is_fixed_point col2);
@@ -682,8 +670,6 @@ let e_cycle () =
 (* E-RULING *)
 
 let e_ruling () =
-  header "E-RULING"
-    "The Lemma 6.6 recursion, executed on solver-found solutions";
   let run name g ~delta ~delta' ~k ~beta =
     let p = RF.pi ~delta:delta' ~c:k ~beta in
     let l = Lift.lift ~delta ~r:2 p in
@@ -832,6 +818,7 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false
       ~predictors:[| Measure.run |]
   in
+  let results = ref [] in
   Format.printf "  %-34s %14s@." "benchmark" "time/run";
   List.iter
     (fun test ->
@@ -847,40 +834,250 @@ let micro () =
                 else if ns > 1e3 then Printf.sprintf "%8.2f µs" (ns /. 1e3)
                 else Printf.sprintf "%8.0f ns" ns
               in
+              results := (Test.Elt.name t, ns) :: !results;
               Format.printf "  %-34s %14s@." (Test.Elt.name t) pretty
           | _ -> Format.printf "  %-34s %14s@." (Test.Elt.name t) "n/a")
         (Test.elements test))
-    tests
+    tests;
+  List.rev !results
 
 (* ------------------------------------------------------------------ *)
+(* Experiment registry, machine-readable output, and the driver.
 
-let experiments () =
-  fig1 ();
-  fig2 ();
-  fig3 ();
-  t15 ();
-  t16 ();
-  t17 ();
-  t13 ();
-  e_lift ();
-  e_unsat ();
-  e_fix ();
-  e_seq ();
-  e_g ();
-  e_ub ();
-  e_hyp ();
-  e_rand ();
-  e_cycle ();
-  e_ruling ();
-  e_b1 ()
+   Each experiment runs bracketed by a wall-clock reading and a
+   telemetry snapshot; [--json FILE] serialises the per-experiment
+   timings and kernel-counter deltas in the slocal.bench/1 schema
+   (documented in DESIGN.md), which [validate FILE] re-checks. *)
+
+let bench_schema_version = "slocal.bench/1"
+
+let all_experiments =
+  [
+    ("FIG1", "Black diagram of the matching family (paper Figure 1)", fig1);
+    ( "FIG2",
+      "Black diagram of Π_Δ(c,β) with 3 colors, β = 2 (paper Figure 2)",
+      fig2 );
+    ( "FIG3",
+      "A maximal matching solution in the black-white formalism (Figure 3)",
+      fig3 );
+    ("T15", "Theorem 1.5/4.1: x-maximal y-matching bounds (Δ = 5Δ', ε = 1)", t15);
+    ("T16", "Theorem 1.6/5.1: α-arbdefective c-coloring bounds (ε = 0.25)", t16);
+    ("T17", "Theorem 1.7/6.1: arbdefective colored ruling set bounds", t17);
+    ("T13", "Theorem 1.3 / Lemma C.2: derandomization accounting (log₂)", t13);
+    ( "E-LIFT",
+      "Theorem 3.2: lift-based decision vs exhaustive 0-round search",
+      e_lift );
+    ( "E-UNSAT",
+      "Lift unsolvability: exact search and counting certificates",
+      e_unsat );
+    ("E-FIX", "Lemma 5.4 fixed points and the SO relaxed fixed point", e_fix);
+    ( "E-SEQ",
+      "Lemma 4.5 and Observation 4.3: the matching lower-bound sequence",
+      e_seq );
+    ("E-G", "The Lemma 2.1 substitute: measured girth and independence", e_g);
+    ("E-UB", "Simulated upper bounds vs the lower-bound formulas", e_ub);
+    ( "E-HYP",
+      "Corollaries 3.3/3.5/B.3: the hypergraph track via incidence graphs",
+      e_hyp );
+    ("E-RAND", "Appendix C: randomized baselines vs the deterministic sweep", e_rand);
+    ( "E-CYCLE",
+      "A complete mini lower bound: 2-coloring needs Θ(n) rounds on cycles",
+      e_cycle );
+    ( "E-RULING",
+      "The Lemma 6.6 recursion, executed on solver-found solutions",
+      e_ruling );
+    ( "E-B1",
+      "Lemma B.1, executable: one round elimination step on algorithms",
+      e_b1 );
+  ]
+
+(* The CI smoke subset: cheap experiments only (pure tables, diagrams,
+   and the small solver instances). *)
+let quick_ids =
+  [ "FIG1"; "FIG2"; "FIG3"; "T15"; "T16"; "T17"; "T13"; "E-FIX"; "E-G"; "E-CYCLE" ]
+
+type experiment_record = {
+  id : string;
+  title : string;
+  wall_ns : int;
+  counters : (string * int) list;
+}
+
+let run_experiment (id, title, f) =
+  header id title;
+  let before = Telemetry.snapshot () in
+  let t0 = Telemetry.now_ns () in
+  f ();
+  let t1 = Telemetry.now_ns () in
+  let counters = Telemetry.delta ~before ~after:(Telemetry.snapshot ()) in
+  { id; title; wall_ns = Int64.to_int (Int64.sub t1 t0); counters }
+
+let experiment_to_json e : Json.t =
+  Json.Obj
+    [
+      ("id", Json.String e.id);
+      ("title", Json.String e.title);
+      ("wall_ns", Json.Int e.wall_ns);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters) );
+    ]
+
+let benchmark_to_json (name, ns) : Json.t =
+  Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ]
+
+let report_to_json ~mode ~quick ~experiments ~benchmarks : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String bench_schema_version);
+      ("mode", Json.String mode);
+      ("quick", Json.Bool quick);
+      ("experiments", Json.List (List.map experiment_to_json experiments));
+      ("benchmarks", Json.List (List.map benchmark_to_json benchmarks));
+    ]
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s@." file
+
+(* Structural validation of a slocal.bench/1 file; returns the exit
+   code (0 valid, 1 invalid). *)
+let validate file =
+  let fail msg =
+    Printf.eprintf "validate: %s: %s\n" file msg;
+    1
+  in
+  match
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Json.of_string text
+  with
+  | exception Sys_error msg -> fail msg
+  | Error msg -> fail ("invalid JSON: " ^ msg)
+  | Ok json -> (
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let field obj k =
+        match Json.member k obj with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let check_string v k =
+        match Json.as_string v with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "field %S is not a string" k)
+      in
+      let check_int v k =
+        match Json.as_int v with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "field %S is not an integer" k)
+      in
+      let result =
+        let* schema = field json "schema" in
+        let* schema = check_string schema "schema" in
+        let* () =
+          if schema = bench_schema_version then Ok ()
+          else Error (Printf.sprintf "unknown schema %S" schema)
+        in
+        let* mode = field json "mode" in
+        let* _ = check_string mode "mode" in
+        let* exps = field json "experiments" in
+        let* exps =
+          match Json.as_list exps with
+          | Some l -> Ok l
+          | None -> Error "\"experiments\" is not a list"
+        in
+        let* () =
+          List.fold_left
+            (fun acc e ->
+              let* () = acc in
+              let* id = field e "id" in
+              let* id = check_string id "id" in
+              let* title = field e "title" in
+              let* _ = check_string title "title" in
+              let* wall = field e "wall_ns" in
+              let* () = check_int wall "wall_ns" in
+              let* counters = field e "counters" in
+              match Json.as_obj counters with
+              | None -> Error (Printf.sprintf "%s: \"counters\" is not an object" id)
+              | Some kvs ->
+                  List.fold_left
+                    (fun acc (k, v) ->
+                      let* () = acc in
+                      check_int v (id ^ ".counters." ^ k))
+                    (Ok ()) kvs)
+            (Ok ()) exps
+        in
+        let* benchs = field json "benchmarks" in
+        let* benchs =
+          match Json.as_list benchs with
+          | Some l -> Ok l
+          | None -> Error "\"benchmarks\" is not a list"
+        in
+        let* () =
+          List.fold_left
+            (fun acc b ->
+              let* () = acc in
+              let* name = field b "name" in
+              let* name = check_string name "name" in
+              let* ns = field b "ns_per_run" in
+              match Json.as_float ns with
+              | Some _ -> Ok ()
+              | None -> Error (Printf.sprintf "%s: \"ns_per_run\" is not a number" name))
+            (Ok ()) benchs
+        in
+        Ok (List.length exps, List.length benchs)
+      in
+      match result with
+      | Ok (ne, nb) ->
+          Printf.printf "%s: valid %s (%d experiments, %d benchmarks)\n" file
+            bench_schema_version ne nb;
+          0
+      | Error msg -> fail msg)
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  Format.printf "Supported LOCAL lower bounds — experiment harness@.";
-  (match mode with
-  | "tables" -> experiments ()
-  | "micro" -> micro ()
-  | _ ->
-      experiments ();
-      micro ());
-  Format.printf "@.done.@."
+  let json_file = ref None and quick = ref false and positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json needs a FILE argument";
+        exit 2
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !positional with
+  | [ "validate"; file ] -> exit (validate file)
+  | [ "validate" ] ->
+      prerr_endline "bench: validate needs a FILE argument";
+      exit 2
+  | positional ->
+      let mode = match positional with [] -> "all" | m :: _ -> m in
+      Format.printf "Supported LOCAL lower bounds — experiment harness@.";
+      let selected =
+        if !quick then
+          List.filter (fun (id, _, _) -> List.mem id quick_ids) all_experiments
+        else all_experiments
+      in
+      let experiments, benchmarks =
+        match mode with
+        | "tables" -> (List.map run_experiment selected, [])
+        | "micro" -> ([], micro ())
+        | _ -> (List.map run_experiment selected, micro ())
+      in
+      (match !json_file with
+      | None -> ()
+      | Some file ->
+          write_json file
+            (report_to_json ~mode ~quick:!quick ~experiments ~benchmarks));
+      Format.printf "@.done.@."

@@ -7,9 +7,16 @@
      solve    — decide bipartite solvability of a problem on a graph
      bounds   — evaluate the paper's bound formulas on given parameters
      gen      — generate a support graph and report girth/independence
+     sequence — iterate RE and machine-check the lower-bound sequence
+     stats    — run a workload and print the telemetry counter summary
      export   — print a problem in the textual document format
      lint     — static analysis: verify the formalism invariants
      audit    — re-validate a lower-bound certificate end to end
+
+   The kernel-facing subcommands (re, lift, solve, gen, audit, stats)
+   accept [--trace FILE] to record a JSONL telemetry trace (schema
+   slocal.trace/1, see DESIGN.md) and [--metrics] to print the counter
+   summary to stderr on exit.
 
    Problems are selected from the built-in families of the paper:
      matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
@@ -22,6 +29,7 @@
 
 open Cmdliner
 open Slocal_formalism
+module Telemetry = Slocal_obs.Telemetry
 module Gen = Slocal_graph.Graph_gen
 module Graph = Slocal_graph.Graph
 module Bipartite = Slocal_graph.Bipartite
@@ -87,6 +95,50 @@ let problem_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROBLEM" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing shared by the kernel-facing subcommands. *)
+
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a JSONL telemetry trace (schema slocal.trace/1) to $(docv): \
+           spans over the hot kernels plus a final counter snapshot.")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the telemetry counter summary to stderr on exit.")
+
+(* Install the requested sinks around [f].  The teardown is registered
+   with [at_exit] as well, because lint/audit exit from inside their
+   run function ([Fun.protect] finalizers do not run across [exit]);
+   the [finished] guard keeps the two paths idempotent. *)
+let with_telemetry ~cmd trace metrics f =
+  match (trace, metrics) with
+  | None, false -> f ()
+  | _ ->
+      let oc = Option.map open_out trace in
+      (match oc with
+      | Some oc -> Telemetry.set_sink (Telemetry.jsonl_sink oc)
+      | None -> ());
+      Telemetry.message (Printf.sprintf "slocal %s" cmd);
+      let finished = ref false in
+      let finish () =
+        if not !finished then begin
+          finished := true;
+          Telemetry.emit_counters ();
+          if metrics then Format.eprintf "%a@?" Telemetry.pp_summary ();
+          Telemetry.set_sink Telemetry.null_sink;
+          Option.iter close_out oc
+        end
+      in
+      at_exit finish;
+      Fun.protect ~finally:finish f
+
 let graph_arg pos_idx =
   let doc =
     "Graph spec: cycle:K (C_2K 2-colored), kbb:A:B, cover-petersen, \
@@ -119,7 +171,8 @@ let re_cmd =
   let steps =
     Arg.(value & opt int 1 & info [ "steps"; "k" ] ~doc:"Number of RE steps.")
   in
-  let run spec steps =
+  let run spec steps trace metrics =
+    with_telemetry ~cmd:"re" trace metrics @@ fun () ->
     let p = ref (parse_problem spec) in
     print_string (Problem.to_string !p);
     for i = 1 to steps do
@@ -132,7 +185,7 @@ let re_cmd =
   in
   Cmd.v
     (Cmd.info "re" ~doc:"Apply round elimination steps")
-    Term.(const run $ problem_arg $ steps)
+    Term.(const run $ problem_arg $ steps $ trace_opt $ metrics_flag)
 
 let lift_cmd =
   let delta =
@@ -141,7 +194,8 @@ let lift_cmd =
   let r =
     Arg.(required & opt (some int) None & info [ "r" ] ~doc:"Support black degree r.")
   in
-  let run spec delta r =
+  let run spec delta r trace metrics =
+    with_telemetry ~cmd:"lift" trace metrics @@ fun () ->
     let p = parse_problem spec in
     let l = Core.Lift.lift ~delta ~r p in
     print_string (Problem.to_string l.Core.Lift.problem);
@@ -158,7 +212,7 @@ let lift_cmd =
   in
   Cmd.v
     (Cmd.info "lift" ~doc:"Print lift_{Δ,r}(Π) (Definition 3.1)")
-    Term.(const run $ problem_arg $ delta $ r)
+    Term.(const run $ problem_arg $ delta $ r $ trace_opt $ metrics_flag)
 
 let solve_cmd =
   let lift_flag =
@@ -167,7 +221,8 @@ let solve_cmd =
   let budget =
     Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
   in
-  let run spec gspec lift_flag budget =
+  let run spec gspec lift_flag budget trace metrics =
+    with_telemetry ~cmd:"solve" trace metrics @@ fun () ->
     let p = parse_problem spec in
     let g = parse_graph gspec in
     let problem =
@@ -178,16 +233,29 @@ let solve_cmd =
     (match Girth.girth (Bipartite.graph g) with
     | None -> Format.printf "support: n=%d acyclic@." (Bipartite.n g)
     | Some girth -> Format.printf "support: n=%d girth=%d@." (Bipartite.n g) girth);
-    match Solver.solve ~max_nodes:budget g problem with
+    let outcome, st = Solver.solve_stats ~max_nodes:budget g problem in
+    (match outcome with
     | Solver.Solution s ->
         Format.printf "SOLVABLE (checker: %b)@."
           (Checker.is_solution g problem s)
     | Solver.No_solution -> Format.printf "NO SOLUTION@."
-    | Solver.Budget_exceeded -> Format.printf "UNDECIDED (budget)@."
+    | Solver.Budget_exceeded -> Format.printf "UNDECIDED (budget)@.");
+    Format.printf
+      "search effort: %d nodes, %d backtracks, %d forward-checking prunes@."
+      st.Solver.nodes st.Solver.backtracks st.Solver.fc_prunes;
+    if st.Solver.budget_exhausted then
+      Format.printf
+        "budget of %d nodes was the limiting factor; raise --budget to decide@."
+        st.Solver.max_nodes
+    else
+      Format.printf "budget: %d of %d nodes used (not limiting)@."
+        st.Solver.nodes st.Solver.max_nodes
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide bipartite solvability on a concrete graph")
-    Term.(const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget)
+    Term.(
+      const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget $ trace_opt
+      $ metrics_flag)
 
 let bounds_cmd =
   let n = Arg.(value & opt float 1e9 & info [ "n" ] ~doc:"Number of nodes.") in
@@ -269,6 +337,61 @@ let sequence_cmd =
     (Cmd.info "sequence"
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
     Term.(const run $ problem_arg $ steps)
+
+let stats_cmd =
+  let graph_opt =
+    let doc =
+      "Optional graph spec (same syntax as solve); when given, the lift of \
+       the problem onto it is built and solved so the solver and lift \
+       counters fire too."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc)
+  in
+  let re_steps =
+    Arg.(
+      value & opt int 1
+      & info [ "re-steps" ] ~doc:"Number of RE steps in the workload.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
+  in
+  let run spec gspec re_steps budget trace metrics =
+    with_telemetry ~cmd:"stats" trace metrics @@ fun () ->
+    let p = parse_problem spec in
+    let q = ref p in
+    for _ = 1 to re_steps do
+      q := Re_step.re !q
+    done;
+    Format.printf "after %d RE step(s): %d labels, %d white / %d black configurations@."
+      re_steps
+      (Alphabet.size !q.Problem.alphabet)
+      (Constr.size !q.Problem.white)
+      (Constr.size !q.Problem.black);
+    (match gspec with
+    | None -> ()
+    | Some gs ->
+        let g = parse_graph gs in
+        let l = Core.Zero_round.lift_of_support g p in
+        let outcome, st =
+          Solver.solve_stats ~max_nodes:budget g l.Core.Lift.problem
+        in
+        Format.printf "lift solvable on support: %s (%d nodes explored)@."
+          (match outcome with
+          | Solver.Solution _ -> "yes"
+          | Solver.No_solution -> "no"
+          | Solver.Budget_exceeded -> "undecided (budget)")
+          st.Solver.nodes);
+    Format.printf "%a@?" Telemetry.pp_summary ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a representative workload (RE steps, and optionally \
+          lift-and-solve on a graph) and print the telemetry counter summary")
+    Term.(
+      const run $ problem_arg $ graph_opt $ re_steps $ budget $ trace_opt
+      $ metrics_flag)
 
 let export_cmd =
   let run spec =
@@ -371,7 +494,8 @@ let audit_cmd =
              ~doc:"Search-node budget for the independent unsolvability \
                    re-search (0 disables).")
   in
-  let run spec gspec k budget recheck_budget machine =
+  let run spec gspec k budget recheck_budget machine trace metrics =
+    with_telemetry ~cmd:"audit" trace metrics @@ fun () ->
     let last_problem, support =
       match (parse_problem spec, parse_graph gspec) with
       | p, g -> (p, g)
@@ -389,13 +513,15 @@ let audit_cmd =
        ~doc:"Run the Theorem 3.4 pipeline and re-validate the resulting \
              certificate")
     Term.(const run $ problem_arg $ graph_arg 1 $ k $ budget $ recheck_budget
-          $ machine_flag)
+          $ machine_flag $ trace_opt $ metrics_flag)
 
 let gen_cmd =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Target node count.") in
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run n d seed =
+  let run n d seed trace metrics =
+    with_telemetry ~cmd:"gen" trace metrics @@ fun () ->
+    Telemetry.message (Printf.sprintf "gen seed=%d n=%d d=%d" seed n d);
     let rng = Slocal_util.Prng.create seed in
     let c = Gen.high_girth_low_independence rng ~n ~d () in
     let g = c.Gen.graph in
@@ -411,7 +537,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a Lemma 2.1-style support graph")
-    Term.(const run $ n $ d $ seed)
+    Term.(const run $ n $ d $ seed $ trace_opt $ metrics_flag)
 
 let () =
   let info =
@@ -429,6 +555,7 @@ let () =
             bounds_cmd;
             gen_cmd;
             sequence_cmd;
+            stats_cmd;
             export_cmd;
             lint_cmd;
             audit_cmd;

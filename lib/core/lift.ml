@@ -2,6 +2,12 @@ open Slocal_formalism
 module Bitset = Slocal_util.Bitset
 module Multiset = Slocal_util.Multiset
 module Combinat = Slocal_util.Combinat
+module Telemetry = Slocal_obs.Telemetry
+
+let c_lifts = Telemetry.counter "lift.calls"
+let g_labels = Telemetry.gauge "lift.labels"
+let g_white_configs = Telemetry.gauge "lift.white_configs"
+let g_black_configs = Telemetry.gauge "lift.black_configs"
 
 type t = {
   base : Problem.t;
@@ -18,6 +24,8 @@ let sub_multisets_of_sets k sets =
   |> List.sort_uniq compare
 
 let lift ~delta ~r (base : Problem.t) =
+  Telemetry.span "lift.lift" @@ fun () ->
+  Telemetry.incr c_lifts;
   let d' = Problem.d_white base and r' = Problem.d_black base in
   if delta < d' then invalid_arg "Lift.lift: delta < white arity of base";
   if r < r' then invalid_arg "Lift.lift: r < black arity of base";
@@ -61,6 +69,9 @@ let lift ~delta ~r (base : Problem.t) =
       ~partial:white_partial ~full:white_full
   in
   let meaning = Array.of_list candidates in
+  Telemetry.set g_labels (Array.length meaning);
+  Telemetry.set g_white_configs (List.length white_configs);
+  Telemetry.set g_black_configs (List.length black_configs);
   let index =
     let tbl = Hashtbl.create 32 in
     Array.iteri (fun i s -> Hashtbl.add tbl s i) meaning;

@@ -1,5 +1,14 @@
-let theorem_b2 ~k ~girth = min (2 * k) ((girth - 4) / 2)
-let corollary_b3 ~k ~girth = min k ((girth - 4) / 2)
+module Telemetry = Slocal_obs.Telemetry
+
+let c_bound_evals = Telemetry.counter "re_supported.bound_evals"
+
+let theorem_b2 ~k ~girth =
+  Telemetry.incr c_bound_evals;
+  min (2 * k) ((girth - 4) / 2)
+
+let corollary_b3 ~k ~girth =
+  Telemetry.incr c_bound_evals;
+  min k ((girth - 4) / 2)
 
 let log_base ~base x =
   if x <= 0. || base <= 1. then neg_infinity else log x /. log base
@@ -8,24 +17,28 @@ let girth_term ~eps ~c ~delta ~r n =
   ((eps *. (log_base ~base:(float_of_int (delta * r)) n -. c)) -. 4.) /. 2.
 
 let theorem_34_det ~k ~eps ~c ~delta ~r ~n =
+  Telemetry.incr c_bound_evals;
   Float.min (float_of_int (2 * k)) (girth_term ~eps ~c ~delta ~r n) -. 1.
 
 (* Lemma C.2: D(n) <= R(2^{3n²}), so R(n) >= D(sqrt(log₂ n / 3)). *)
 let randomized_size n = sqrt (Float.max 0. (log n /. log 2.) /. 3.)
 
 let theorem_34_rand ~k ~eps ~c ~delta ~r ~n =
+  Telemetry.incr c_bound_evals;
   Float.min
     (float_of_int (2 * k))
     (girth_term ~eps ~c ~delta ~r (randomized_size n))
   -. 1.
 
 let corollary_35_det ~k ~eps ~c ~delta ~r ~n =
+  Telemetry.incr c_bound_evals;
   Float.min (float_of_int k) (girth_term ~eps ~c ~delta ~r n) -. 1.
 
 (* Theorem C.3: D(n) <= R(2^{4n³}) on linear hypergraphs. *)
 let randomized_size_hyper n = Float.cbrt (Float.max 0. (log n /. log 2.) /. 4.)
 
 let corollary_35_rand ~k ~eps ~c ~delta ~r ~n =
+  Telemetry.incr c_bound_evals;
   Float.min
     (float_of_int k)
     (girth_term ~eps ~c ~delta ~r (randomized_size_hyper n))

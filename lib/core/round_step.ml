@@ -2,10 +2,15 @@ open Slocal_graph
 open Slocal_formalism
 open Slocal_model
 module Bitset = Slocal_util.Bitset
+module Telemetry = Slocal_obs.Telemetry
+
+let c_eliminations = Telemetry.counter "round_step.eliminations"
+let c_instances_checked = Telemetry.counter "round_step.instances_checked"
 
 (* Collate one side's outputs into an input-graph labeling and check a
    problem on it. *)
 let outputs_solve support marks outputs problem =
+  Telemetry.incr c_instances_checked;
   let inst = Supported.instance support marks in
   match Supported.labeling_of_outputs inst outputs with
   | None -> false
@@ -78,6 +83,8 @@ let solves_r_bar ?(both_full = false) ~support ~r_problem ~d_in_white
    the new outputs; the input algorithm runs on the opposite side. *)
 let eliminate_core ?(both_full = false) ~to_side ~support ~problem
     ~d_in_white ~d_in_black algorithm =
+  Telemetry.span "round_step.eliminate" @@ fun () ->
+  Telemetry.incr c_eliminations;
   let g = Bipartite.graph support in
   if Graph.m g > 20 then
     invalid_arg "Round_step.eliminate: support too large for enumeration";

@@ -3,6 +3,7 @@ open Slocal_formalism
 open Slocal_model
 module Bitset = Slocal_util.Bitset
 module Combinat = Slocal_util.Combinat
+module Telemetry = Slocal_obs.Telemetry
 
 let biregular_arities support =
   let whites = Bipartite.whites support and blacks = Bipartite.blacks support in
@@ -22,6 +23,7 @@ let lift_of_support support problem =
       Lift.lift ~delta ~r problem
 
 let solvable ?max_nodes support problem =
+  Telemetry.span "zero_round.solvable" @@ fun () ->
   let l = lift_of_support support problem in
   Solver.solvable ?max_nodes support l.Lift.problem
 

@@ -1,10 +1,17 @@
 module Bitset = Slocal_util.Bitset
 module Multiset = Slocal_util.Multiset
+module Telemetry = Slocal_obs.Telemetry
 
 type grounding = {
   problem : Problem.t;
   meaning : Bitset.t array;
 }
+
+let c_steps = Telemetry.counter "re.steps"
+let c_enum_nodes = Telemetry.counter "re.enum_nodes"
+let g_labels_out = Telemetry.gauge "re.labels_out"
+let g_strong_configs = Telemetry.gauge "re.strong_configs"
+let g_weak_configs = Telemetry.gauge "re.weak_configs"
 
 (* Enumerate multisets of size [arity] over [candidates] (given as an
    array, chosen with non-decreasing indices to avoid duplicates),
@@ -14,7 +21,9 @@ let enumerate_set_configs ~candidates ~arity ~partial ~full =
   let cands = Array.of_list candidates in
   let k = Array.length cands in
   let acc = ref [] in
+  let nodes = ref 0 in
   let rec go start chosen depth =
+    incr nodes;
     if depth = arity then begin
       let config = List.rev chosen in
       if full config then acc := config :: !acc
@@ -26,6 +35,7 @@ let enumerate_set_configs ~candidates ~arity ~partial ~full =
       done
   in
   go 0 [] 0;
+  Telemetry.add c_enum_nodes !nodes;
   List.rev !acc
 
 let sets_to_lists config = List.map Bitset.to_list config
@@ -79,6 +89,8 @@ let set_name alphabet s =
    [strong_constr] keeps its arity; new labels are the sets appearing
    in the maximal good configurations. *)
 let r_core ~name ~alphabet ~strong_constr ~weak_constr =
+  Telemetry.span "re.step" @@ fun () ->
+  Telemetry.incr c_steps;
   let diagram =
     Diagram.of_constraint ~alphabet_size:(Alphabet.size alphabet) strong_constr
   in
@@ -118,6 +130,9 @@ let r_core ~name ~alphabet ~strong_constr ~weak_constr =
     Constr.make ~arity:(Constr.arity weak_constr)
       (List.map to_config weak_configs)
   in
+  Telemetry.set g_labels_out (Array.length meaning);
+  Telemetry.set g_strong_configs (List.length strong_configs);
+  Telemetry.set g_weak_configs (List.length weak_configs);
   (name, alphabet', strong', weak', meaning)
 
 let r_black (p : Problem.t) =

@@ -2,7 +2,12 @@
    vertices, [dist u + dist v + 1] bounds a cycle length, and the
    minimum of these bounds over all sources is the girth. *)
 
+module Telemetry = Slocal_obs.Telemetry
+
+let c_bfs_runs = Telemetry.counter "girth.bfs_runs"
+
 let bfs_cycle_bound g src ~stop_below =
+  Telemetry.incr c_bfs_runs;
   let n = Graph.n g in
   let dist = Array.make n max_int in
   let parent_edge = Array.make n (-1) in

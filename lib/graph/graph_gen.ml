@@ -1,4 +1,11 @@
 module Prng = Slocal_util.Prng
+module Telemetry = Slocal_obs.Telemetry
+
+let c_gen_attempts = Telemetry.counter "graph.gen_attempts"
+let c_repair_sweeps = Telemetry.counter "graph.repair_sweeps"
+let c_girth_swaps = Telemetry.counter "graph.girth_swaps"
+let g_girth_achieved = Telemetry.gauge "graph.girth_achieved"
+let g_independence_upper = Telemetry.gauge "graph.independence_upper"
 
 let cycle n =
   if n < 3 then invalid_arg "Graph_gen.cycle: need n >= 3";
@@ -123,6 +130,7 @@ let pairing_to_simple ?(oriented = false) rng ~pairs ~endpoint ~max_sweeps =
   let ok = ref false in
   while (not !ok) && !sweeps < max_sweeps do
     incr sweeps;
+    Telemetry.incr c_repair_sweeps;
     let counts = rebuild_counts () in
     let bad_list = ref [] in
     for p = 0 to npairs - 1 do
@@ -220,6 +228,7 @@ let rec random_regular rng ~n ~d =
     complement (random_regular rng ~n ~d:(n - 1 - d))
   else begin
     let attempt max_sweeps =
+      Telemetry.incr c_gen_attempts;
       let stubs = Array.init (n * d) (fun i -> i) in
       Prng.shuffle rng stubs;
       let pairs =
@@ -270,6 +279,7 @@ let rec random_biregular rng ~nw ~nb ~dw ~db =
   else begin
   let m = nw * dw in
   let attempt () =
+    Telemetry.incr c_gen_attempts;
     (* White stub i belongs to white i/dw; black stubs are encoded with
        an offset so that [endpoint] separates the sides. *)
     let black_stubs = Array.init m (fun i -> m + i) in
@@ -338,6 +348,7 @@ let improve_girth rng g ~min_girth ~max_steps =
       match try_swap rng g with
       | None -> if girth_val g >= best_girth then g else best
       | Some g' ->
+          Telemetry.incr c_girth_swaps;
           let bg = girth_val g' in
           if bg >= best_girth then go g' g' bg (steps - 1)
           else go g' best best_girth (steps - 1)
@@ -366,6 +377,7 @@ type certified = {
 }
 
 let high_girth_low_independence rng ~n ~d ?min_girth () =
+  Telemetry.span "graph.high_girth_low_independence" @@ fun () ->
   if d < 2 then invalid_arg "high_girth_low_independence: need d >= 2";
   let n = if n * d mod 2 = 0 then n else n + 1 in
   let min_girth =
@@ -386,6 +398,8 @@ let high_girth_low_independence rng ~n ~d ?min_girth () =
         (* α(G) <= n - ν(G) <= n - (greedy matching size). *)
         (n - greedy_matching_size g, false)
   in
+  Telemetry.set g_girth_achieved (Option.value girth ~default:0);
+  Telemetry.set g_independence_upper independence_upper;
   { graph = g; girth; independence_upper; independence_exact }
 
 let double_cover = Bipartite.double_cover

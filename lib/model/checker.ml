@@ -1,10 +1,15 @@
 open Slocal_graph
 open Slocal_formalism
 module Multiset = Slocal_util.Multiset
+module Telemetry = Slocal_obs.Telemetry
 
 type violation =
   | White_node of int
   | Black_node of int
+
+let c_checks = Telemetry.counter "checker.checks"
+let c_nodes_checked = Telemetry.counter "checker.nodes_checked"
+let c_violations = Telemetry.counter "checker.violations"
 
 let node_labels g labeling v =
   Multiset.of_list (List.map (fun e -> labeling.(e)) (Graph.incident g v))
@@ -13,10 +18,13 @@ let check_on bip (p : Problem.t) ~in_s labeling =
   let g = Bipartite.graph bip in
   if Array.length labeling <> Graph.m g then
     invalid_arg "Checker: labeling size mismatch";
+  Telemetry.incr c_checks;
   let dw = Problem.d_white p and db = Problem.d_black p in
+  let checked = ref 0 in
   let violations = ref [] in
   for v = Graph.n g - 1 downto 0 do
     if in_s v then begin
+      incr checked;
       let deg = Graph.degree g v in
       match Bipartite.color bip v with
       | Bipartite.White ->
@@ -27,6 +35,8 @@ let check_on bip (p : Problem.t) ~in_s labeling =
           then violations := Black_node v :: !violations
     end
   done;
+  Telemetry.add c_nodes_checked !checked;
+  Telemetry.add c_violations (List.length !violations);
   !violations
 
 let check bip p labeling = check_on bip p ~in_s:(fun _ -> true) labeling

@@ -1,14 +1,30 @@
 open Slocal_graph
 open Slocal_formalism
 module Multiset = Slocal_util.Multiset
+module Telemetry = Slocal_obs.Telemetry
 
 type outcome =
   | Solution of int array
   | No_solution
   | Budget_exceeded
 
+type stats = {
+  nodes : int;
+  backtracks : int;
+  fc_prunes : int;
+  max_nodes : int;
+  budget_exhausted : bool;
+}
+
 exception Budget
 exception Found
+
+let c_solves = Telemetry.counter "solver.solves"
+let c_nodes = Telemetry.counter "solver.nodes"
+let c_backtracks = Telemetry.counter "solver.backtracks"
+let c_prunes = Telemetry.counter "solver.fc_prunes"
+let c_budget = Telemetry.counter "solver.budget_exhausted"
+let c_solutions = Telemetry.counter "solver.solutions"
 
 (* Edge ordering: BFS over the graph so that consecutive variables
    share nodes and pruning bites early. *)
@@ -41,7 +57,11 @@ let edge_order g =
   done;
   Array.of_list (List.rev !order)
 
-let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
+(* The raw search.  Effort is accumulated into the caller's local
+   refs (not the global telemetry counters) so the innermost loop
+   costs exactly what it did before instrumentation; callers flush the
+   totals into the global counters once per solve. *)
+let search_raw ~max_nodes ~forward_checking ~nodes ~backtracks ~prunes
     ~on_solution bip (p : Problem.t) =
   let g = Bipartite.graph bip in
   let m = Graph.m g in
@@ -57,7 +77,6 @@ let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
   let partial = Array.make (Graph.n g) Multiset.empty in
   let labeling = Array.make m (-1) in
   let order = edge_order g in
-  let nodes = ref 0 in
   let rec assign i =
     incr nodes;
     if !nodes > max_nodes then raise Budget;
@@ -71,7 +90,12 @@ let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
           | None -> true
           | Some c ->
               let part = Multiset.add l partial.(w) in
-              if forward_checking then Constr.extendable part c
+              if forward_checking then
+                Constr.extendable part c
+                || begin
+                     incr prunes;
+                     false
+                   end
               else Multiset.size part < Constr.arity c || Constr.mem part c
         in
         if ok_at u && ok_at v then begin
@@ -79,6 +103,7 @@ let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
           partial.(u) <- Multiset.add l partial.(u);
           partial.(v) <- Multiset.add l partial.(v);
           assign (i + 1);
+          incr backtracks;
           partial.(u) <- Multiset.remove l partial.(u);
           partial.(v) <- Multiset.remove l partial.(v);
           labeling.(e) <- -1
@@ -88,18 +113,54 @@ let generic_solve ?(max_nodes = 20_000_000) ?(forward_checking = true)
   in
   assign 0
 
-let solve ?max_nodes ?forward_checking bip p =
+(* Run [search_raw] with fresh effort accounting, translate the three
+   exit paths through [on_exit], and flush the totals into the global
+   telemetry counters exactly once. *)
+let instrumented ~max_nodes ~forward_checking ~on_solution ~on_exit bip p =
+  Telemetry.incr c_solves;
+  let nodes = ref 0 and backtracks = ref 0 and prunes = ref 0 in
+  let finish outcome =
+    Telemetry.add c_nodes !nodes;
+    Telemetry.add c_backtracks !backtracks;
+    Telemetry.add c_prunes !prunes;
+    ( outcome,
+      {
+        nodes = !nodes;
+        backtracks = !backtracks;
+        fc_prunes = !prunes;
+        max_nodes;
+        budget_exhausted = (outcome = `Budget);
+      } )
+  in
+  let exit_kind, st =
+    match
+      search_raw ~max_nodes ~forward_checking ~nodes ~backtracks ~prunes
+        ~on_solution bip p
+    with
+    | () -> finish `Exhausted
+    | exception Found -> finish `Found
+    | exception Budget ->
+        Telemetry.incr c_budget;
+        finish `Budget
+  in
+  (on_exit exit_kind, st)
+
+let solve_stats ?(max_nodes = 20_000_000) ?(forward_checking = true) bip p =
+  Telemetry.span "solver.solve" @@ fun () ->
   let result = ref No_solution in
-  match
-    generic_solve ?max_nodes ?forward_checking
-      ~on_solution:(fun labeling ->
-        result := Solution (Array.copy labeling);
-        raise Found)
-      bip p
-  with
-  | () -> !result
-  | exception Found -> !result
-  | exception Budget -> Budget_exceeded
+  instrumented ~max_nodes ~forward_checking
+    ~on_solution:(fun labeling ->
+      result := Solution (Array.copy labeling);
+      Telemetry.incr c_solutions;
+      raise Found)
+    ~on_exit:(fun exit_kind ->
+      match exit_kind with
+      | `Found | `Exhausted -> !result
+      | `Budget -> Budget_exceeded)
+    bip p
+
+let solve ?max_nodes ?forward_checking bip p =
+  fst (solve_stats ?max_nodes ?forward_checking bip p)
 
 let solvable ?max_nodes bip p =
   match solve ?max_nodes bip p with
@@ -107,18 +168,20 @@ let solvable ?max_nodes bip p =
   | No_solution -> Some false
   | Budget_exceeded -> None
 
-let count_solutions ?max_nodes ?(limit = max_int) bip p =
+let count_solutions ?(max_nodes = 20_000_000) ?(limit = max_int) bip p =
+  Telemetry.span "solver.count_solutions" @@ fun () ->
   let count = ref 0 in
-  match
-    generic_solve ?max_nodes
-      ~on_solution:(fun _ ->
-        incr count;
-        if !count >= limit then raise Found)
-      bip p
-  with
-  | () -> Some !count
-  | exception Found -> Some !count
-  | exception Budget -> None
+  fst
+    (instrumented ~max_nodes ~forward_checking:true
+       ~on_solution:(fun _ ->
+         incr count;
+         Telemetry.incr c_solutions;
+         if !count >= limit then raise Found)
+       ~on_exit:(fun exit_kind ->
+         match exit_kind with
+         | `Found | `Exhausted -> Some !count
+         | `Budget -> None)
+       bip p)
 
 let solve_non_bipartite ?max_nodes h p =
   solve ?max_nodes (Hypergraph.incidence h) p

@@ -20,11 +20,33 @@ type outcome =
   | No_solution
   | Budget_exceeded
 
+type stats = {
+  nodes : int;  (** Search-tree nodes explored. *)
+  backtracks : int;  (** Assignments undone. *)
+  fc_prunes : int;  (** Forward-checking extendability failures. *)
+  max_nodes : int;  (** The budget this search ran under. *)
+  budget_exhausted : bool;
+      (** [true] iff the budget — not the search space — ended the
+          run, i.e. the outcome is {!Budget_exceeded}. *)
+}
+(** Effort spent by one search.  The same totals also accumulate into
+    the [solver.*] telemetry counters ({!Slocal_obs.Telemetry}). *)
+
 val solve : ?max_nodes:int -> ?forward_checking:bool -> Bipartite.t -> Problem.t -> outcome
 (** Search for a bipartite solution.  [max_nodes] bounds the number of
     search-tree nodes (default 20_000_000).  [forward_checking]
     (default [true]) enables the partial-multiset pruning; disabling it
     is exposed for the ablation benchmark. *)
+
+val solve_stats :
+  ?max_nodes:int ->
+  ?forward_checking:bool ->
+  Bipartite.t ->
+  Problem.t ->
+  outcome * stats
+(** {!solve}, also reporting the effort spent, so callers can surface
+    how hard the search worked and whether the node budget was the
+    limiting factor. *)
 
 val solvable : ?max_nodes:int -> Bipartite.t -> Problem.t -> bool option
 (** [Some true]/[Some false] when decided, [None] on budget. *)

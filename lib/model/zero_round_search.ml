@@ -2,8 +2,16 @@ open Slocal_graph
 open Slocal_formalism
 module Multiset = Slocal_util.Multiset
 module Combinat = Slocal_util.Combinat
+module Telemetry = Slocal_obs.Telemetry
 
 type table = (int * int list, int list) Hashtbl.t
+
+let c_searches = Telemetry.counter "zrs.searches"
+let c_assignments = Telemetry.counter "zrs.assignments"
+let c_instance_checks = Telemetry.counter "zrs.instance_checks"
+let c_table_hits = Telemetry.counter "zrs.table_hits"
+let c_table_misses = Telemetry.counter "zrs.table_misses"
+let c_budget = Telemetry.counter "zrs.budget_exhausted"
 
 let patterns_of support ~d_in_white =
   let g = Bipartite.graph support in
@@ -91,6 +99,8 @@ exception Found of table
    it breaks rather than at the leaves. *)
 let find_algorithm ?(max_assignments = 50_000_000) support p ~d_in_white
     ~d_in_black =
+  Telemetry.span "zrs.find_algorithm" @@ fun () ->
+  Telemetry.incr c_searches;
   if d_in_white <> Problem.d_white p then
     invalid_arg "Zero_round_search: d_in_white must equal the white arity";
   if d_in_black <> Problem.d_black p then
@@ -129,7 +139,18 @@ let find_algorithm ?(max_assignments = 50_000_000) support p ~d_in_white
     List.iter (fun j -> users.(j) <- i :: users.(j)) keys
   done;
   let remaining = Array.map List.length needed in
+  let checks = ref 0 and hits = ref 0 and misses = ref 0 in
+  let lookup key =
+    match Hashtbl.find_opt tbl key with
+    | Some _ as r ->
+        incr hits;
+        r
+    | None ->
+        incr misses;
+        None
+  in
   let check_instance i =
+    incr checks;
     let marks = inst.(i).Supported.marks in
     let white_pattern v =
       List.filter (fun e -> marks.(e)) (Graph.incident g v)
@@ -138,7 +159,7 @@ let find_algorithm ?(max_assignments = 50_000_000) support p ~d_in_white
       let u, w = Graph.edge g e in
       let v = if Bipartite.color support u = Bipartite.White then u else w in
       let pat = white_pattern v in
-      match Hashtbl.find_opt tbl (v, pat) with
+      match lookup (v, pat) with
       | None -> None
       | Some tuple ->
           let rec find es ls =
@@ -154,7 +175,7 @@ let find_algorithm ?(max_assignments = 50_000_000) support p ~d_in_white
         let pat = white_pattern v in
         if List.length pat <> Problem.d_white p then true
         else
-          match Hashtbl.find_opt tbl (v, pat) with
+          match lookup (v, pat) with
           | None -> false
           | Some tuple -> Constr.mem (Multiset.of_list tuple) p.Problem.white)
       (Bipartite.whites support)
@@ -192,10 +213,23 @@ let find_algorithm ?(max_assignments = 50_000_000) support p ~d_in_white
       Hashtbl.remove tbl key
     end
   in
+  let flush () =
+    Telemetry.add c_assignments !steps;
+    Telemetry.add c_instance_checks !checks;
+    Telemetry.add c_table_hits !hits;
+    Telemetry.add c_table_misses !misses
+  in
   match go 0 with
-  | () -> Some None
-  | exception Found t -> Some (Some t)
-  | exception Budget -> None
+  | () ->
+      flush ();
+      Some None
+  | exception Found t ->
+      flush ();
+      Some (Some t)
+  | exception Budget ->
+      flush ();
+      Telemetry.incr c_budget;
+      None
 
 let exists_algorithm ?max_assignments support p ~d_in_white ~d_in_black =
   match find_algorithm ?max_assignments support p ~d_in_white ~d_in_black with

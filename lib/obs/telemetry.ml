@@ -1,0 +1,205 @@
+let trace_schema_version = "slocal.trace/1"
+let now_ns = Monotonic_clock.now
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+type metric_kind = Counter | Gauge
+type metric = { m_name : string; m_kind : metric_kind; mutable m_value : int }
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register m_name m_kind =
+  match Hashtbl.find_opt registry m_name with
+  | Some m -> m
+  | None ->
+      let m = { m_name; m_kind; m_value = 0 } in
+      Hashtbl.add registry m_name m;
+      m
+
+let counter name = register name Counter
+let gauge name = register name Gauge
+let incr m = m.m_value <- m.m_value + 1
+let add m n = m.m_value <- m.m_value + n
+let set m v = m.m_value <- v
+let value m = m.m_value
+let kind m = m.m_kind
+let name m = m.m_name
+
+let snapshot () =
+  Hashtbl.fold (fun _ m acc -> (m.m_name, m.m_value) :: acc) registry []
+  |> List.sort compare
+
+let nonzero_snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot ())
+
+let delta ~before ~after =
+  List.filter_map
+    (fun (nm, av) ->
+      let k =
+        match Hashtbl.find_opt registry nm with
+        | Some m -> m.m_kind
+        | None -> Counter
+      in
+      let v =
+        match k with
+        | Gauge -> av
+        | Counter ->
+            av - Option.value (List.assoc_opt nm before) ~default:0
+      in
+      if v <> 0 then Some (nm, v) else None)
+    after
+
+let reset_metrics () = Hashtbl.iter (fun _ m -> m.m_value <- 0) registry
+
+(* ------------------------------------------------------------------ *)
+(* Events and sinks *)
+
+type event =
+  | Trace_start of { t_ns : int64 }
+  | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
+  | Span_close of { id : int; name : string; t_ns : int64; dur_ns : int64 }
+  | Counters of { t_ns : int64; values : (string * int) list }
+  | Message of { t_ns : int64; text : string }
+
+type sink = Null | Emit of (event -> unit)
+
+let null_sink = Null
+let collector_sink f = Emit f
+let current = ref Null
+let enabled () = match !current with Null -> false | Emit _ -> true
+let emit ev = match !current with Null -> () | Emit f -> f ev
+
+let set_sink s =
+  current := s;
+  match s with Null -> () | Emit f -> f (Trace_start { t_ns = now_ns () })
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+(* (id, name, t0), innermost first.  Only touched when a sink is
+   installed, so the null-sink fast path never allocates. *)
+let span_stack : (int * string * int64) list ref = ref []
+let next_id = ref 0
+
+let span nm f =
+  match !current with
+  | Null -> f ()
+  | Emit _ ->
+      let id = !next_id in
+      next_id := id + 1;
+      let t0 = now_ns () in
+      let parent =
+        match !span_stack with [] -> None | (pid, _, _) :: _ -> Some pid
+      in
+      emit (Span_open { id; parent; name = nm; t_ns = t0 });
+      span_stack := (id, nm, t0) :: !span_stack;
+      let finish () =
+        (match !span_stack with
+        | (id', _, _) :: rest when id' = id -> span_stack := rest
+        | _ -> ());
+        let t1 = now_ns () in
+        emit (Span_close { id; name = nm; t_ns = t1; dur_ns = Int64.sub t1 t0 })
+      in
+      Fun.protect ~finally:finish f
+
+let emit_counters () =
+  if enabled () then
+    emit (Counters { t_ns = now_ns (); values = nonzero_snapshot () })
+
+let message text = if enabled () then emit (Message { t_ns = now_ns (); text })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let event_to_json ev : Json.t =
+  let t ns = ("t_ns", Json.Int (Int64.to_int ns)) in
+  match ev with
+  | Trace_start { t_ns } ->
+      Json.Obj
+        [
+          ("schema", Json.String trace_schema_version);
+          ("kind", Json.String "trace_start");
+          t t_ns;
+        ]
+  | Span_open { id; parent; name; t_ns } ->
+      Json.Obj
+        [
+          ("kind", Json.String "span_open");
+          ("id", Json.Int id);
+          ( "parent",
+            match parent with None -> Json.Null | Some p -> Json.Int p );
+          ("name", Json.String name);
+          t t_ns;
+        ]
+  | Span_close { id; name; t_ns; dur_ns } ->
+      Json.Obj
+        [
+          ("kind", Json.String "span_close");
+          ("id", Json.Int id);
+          ("name", Json.String name);
+          t t_ns;
+          ("dur_ns", Json.Int (Int64.to_int dur_ns));
+        ]
+  | Counters { t_ns; values } ->
+      Json.Obj
+        [
+          ("kind", Json.String "counters");
+          t t_ns;
+          ( "values",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
+        ]
+  | Message { t_ns; text } ->
+      Json.Obj
+        [ ("kind", Json.String "message"); t t_ns; ("text", Json.String text) ]
+
+let jsonl_sink oc =
+  Emit
+    (fun ev ->
+      output_string oc (Json.to_string (event_to_json ev));
+      output_char oc '\n';
+      flush oc)
+
+let pp_duration fmt ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Format.fprintf fmt "%.2fs" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf fmt "%.2fms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf fmt "%.2fµs" (f /. 1e3)
+  else Format.fprintf fmt "%Ldns" ns
+
+let stderr_sink () =
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  Emit
+    (fun ev ->
+      match ev with
+      | Trace_start _ -> Printf.eprintf "[obs] trace start\n%!"
+      | Span_open { name; _ } ->
+          Printf.eprintf "[obs] %s> %s\n%!" (indent ()) name;
+          depth := !depth + 1
+      | Span_close { name; dur_ns; _ } ->
+          depth := max 0 (!depth - 1);
+          Printf.eprintf "[obs] %s< %s %s\n%!" (indent ()) name
+            (Format.asprintf "%a" pp_duration dur_ns)
+      | Counters { values; _ } ->
+          Printf.eprintf "[obs] counters:\n";
+          List.iter
+            (fun (k, v) -> Printf.eprintf "[obs]   %-36s %12d\n" k v)
+            values;
+          Printf.eprintf "%!"
+      | Message { text; _ } -> Printf.eprintf "[obs] %s\n%!" text)
+
+let pp_summary fmt () =
+  let values = nonzero_snapshot () in
+  if values = [] then Format.fprintf fmt "no telemetry counters recorded@."
+  else begin
+    Format.fprintf fmt "telemetry counters:@.";
+    List.iter
+      (fun (k, v) ->
+        let suffix =
+          match Hashtbl.find_opt registry k with
+          | Some { m_kind = Gauge; _ } -> "  (gauge)"
+          | _ -> ""
+        in
+        Format.fprintf fmt "  %-36s %12d%s@." k v suffix)
+      values
+  end

@@ -1,0 +1,122 @@
+(** Structured telemetry: monotonic-clock spans, named counters and
+    gauges, and pluggable sinks.
+
+    The expensive kernels of this repository — the backtracking solver,
+    the RE operator, the lift construction, the exhaustive zero-round
+    search, graph generation — are instrumented with {e metrics}
+    (always-on, one integer store each) and {e spans} (emitted only
+    when a sink is installed).  The default sink is {!null_sink}:
+    spans reduce to a single branch and a direct call of the wrapped
+    thunk, so the instrumented hot paths pay nothing measurable.
+
+    Sinks receive a stream of {!event} values:
+
+    - {!stderr_sink} renders an indented live span tree to stderr;
+    - {!jsonl_sink} writes one JSON object per line (the
+      [slocal.trace/1] schema, documented in DESIGN.md);
+    - {!collector_sink} hands events to a callback (used by tests).
+
+    The module is deliberately single-threaded (like the rest of the
+    repository): the span stack and the registry are plain mutable
+    state. *)
+
+(** {1 Metrics} *)
+
+type metric_kind =
+  | Counter  (** Monotone accumulation; reported as deltas. *)
+  | Gauge  (** Last-value semantics; reported as the latest value. *)
+
+type metric
+
+val counter : string -> metric
+(** [counter name] interns a counter in the global registry.  Calling
+    it twice with the same name returns the same metric.  Names are
+    dot-namespaced by convention ([solver.nodes]). *)
+
+val gauge : string -> metric
+(** Like {!counter} with last-value semantics.  If the name is already
+    registered, the existing metric (and its kind) wins. *)
+
+val incr : metric -> unit
+val add : metric -> int -> unit
+val set : metric -> int -> unit
+val value : metric -> int
+val kind : metric -> metric_kind
+val name : metric -> string
+
+val snapshot : unit -> (string * int) list
+(** All registered metrics with their current values, sorted by name. *)
+
+val nonzero_snapshot : unit -> (string * int) list
+
+val delta :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-metric change between two {!snapshot}s: counters subtract,
+    gauges take the [after] value; zero entries are dropped.  Metrics
+    absent from [before] count from 0. *)
+
+val reset_metrics : unit -> unit
+(** Zero every registered metric (tests and long-running harnesses). *)
+
+(** {1 Clock} *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds from an arbitrary origin
+    ([CLOCK_MONOTONIC] via bechamel's stub). *)
+
+(** {1 Events and sinks} *)
+
+type event =
+  | Trace_start of { t_ns : int64 }
+      (** Emitted automatically when a non-null sink is installed; the
+          JSONL rendering carries the schema version. *)
+  | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
+  | Span_close of { id : int; name : string; t_ns : int64; dur_ns : int64 }
+  | Counters of { t_ns : int64; values : (string * int) list }
+  | Message of { t_ns : int64; text : string }
+
+type sink
+
+val null_sink : sink
+val stderr_sink : unit -> sink
+val jsonl_sink : out_channel -> sink
+(** One JSON object per line, flushed per event so a trace file is
+    complete up to the last event even if the process exits early.
+    The caller owns (and closes) the channel. *)
+
+val collector_sink : (event -> unit) -> sink
+
+val set_sink : sink -> unit
+(** Install a sink (replacing the current one) and, when non-null,
+    emit {!Trace_start} to it.  Install sinks outside of any open
+    span: spans opened under a previous sink close under the new one. *)
+
+val enabled : unit -> bool
+(** [true] iff the current sink is not {!null_sink}. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()].  With a null sink this is just the
+    call; otherwise a {!Span_open}/{!Span_close} pair brackets it
+    (closed on exceptions too), nested spans recording their parent. *)
+
+val emit_counters : unit -> unit
+(** Send a {!Counters} event with the non-zero metrics to the sink
+    (no-op when disabled). *)
+
+val message : string -> unit
+(** Send a free-form {!Message} event (no-op when disabled). *)
+
+(** {1 Rendering} *)
+
+val trace_schema_version : string
+(** ["slocal.trace/1"]. *)
+
+val event_to_json : event -> Json.t
+(** The JSONL line for an event (see DESIGN.md for the schema). *)
+
+val pp_duration : Format.formatter -> int64 -> unit
+(** Nanoseconds, human-scaled ([421ns], [1.23ms], [2.07s]). *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** A sorted table of the non-zero metrics (gauges marked), or a
+    placeholder line when nothing was recorded. *)

@@ -1,0 +1,309 @@
+(* Tests for the telemetry layer: the hand-rolled JSON codec, the
+   metric registry, span nesting through a collector sink, the null
+   sink's no-op guarantees, and the JSONL trace round-trip. *)
+
+module Json = Slocal_obs.Json
+module Telemetry = Slocal_obs.Telemetry
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+(* Every test must leave the global telemetry state clean: sink
+   uninstalled and metrics zeroed. *)
+let with_clean_telemetry f =
+  Telemetry.reset_metrics ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_sink Telemetry.null_sink;
+      Telemetry.reset_metrics ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_json_print () =
+  check string_t "null" "null" (Json.to_string Json.Null);
+  check string_t "true" "true" (Json.to_string (Json.Bool true));
+  check string_t "int" "-42" (Json.to_string (Json.Int (-42)));
+  check string_t "string escape" "\"a\\\"b\\\\c\\n\""
+    (Json.to_string (Json.String "a\"b\\c\n"));
+  check string_t "list" "[1,2]"
+    (Json.to_string (Json.List [ Json.Int 1; Json.Int 2 ]));
+  check string_t "obj" "{\"k\":\"v\"}"
+    (Json.to_string (Json.Obj [ ("k", Json.String "v") ]));
+  check string_t "nan is null" "null" (Json.to_string (Json.Float Float.nan))
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int max_int;
+      Json.Int min_int;
+      Json.String "";
+      Json.String "tab\there \"and\" back\\slash\ncontrol\x01done";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.List [ Json.Obj [ ("b", Json.Null) ] ]);
+          ("s", Json.String "x");
+        ];
+    ]
+  in
+  List.iteri
+    (fun i v -> check bool_t (Printf.sprintf "sample %d" i) true (roundtrip v))
+    samples;
+  (* Floats round-trip through %.17g exactly. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          check (Alcotest.float 0.) "float exact" f f'
+      | Ok (Json.Int i) -> check (Alcotest.float 0.) "float as int" f (float_of_int i)
+      | _ -> Alcotest.fail "float did not round-trip")
+    [ 1.5; -0.25; 1e300; 3.141592653589793 ]
+
+let test_json_parse () =
+  (match Json.of_string "  { \"a\" : [ 1 , true , \"x\\u0041\" ] } " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Bool true; Json.String "xA" ]) ])
+    -> ()
+  | Ok _ -> Alcotest.fail "parsed to the wrong value"
+  | Error e -> Alcotest.fail e);
+  (* Surrogate pair → astral code point, UTF-8 encoded. *)
+  (match Json.of_string "\"\\uD83D\\uDE00\"" with
+  | Ok (Json.String s) -> check string_t "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair failed");
+  let is_error s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  List.iter
+    (fun s -> check bool_t (Printf.sprintf "reject %S" s) true (is_error s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let v =
+    Json.Obj [ ("n", Json.Int 7); ("f", Json.Float 2.5); ("s", Json.String "x") ]
+  in
+  check (Alcotest.option int_t) "member+as_int" (Some 7)
+    (Option.bind (Json.member "n" v) Json.as_int);
+  check (Alcotest.option (Alcotest.float 0.)) "as_float accepts Int" (Some 7.)
+    (Option.bind (Json.member "n" v) Json.as_float);
+  check (Alcotest.option string_t) "as_string" (Some "x")
+    (Option.bind (Json.member "s" v) Json.as_string);
+  check bool_t "missing member" true (Json.member "zz" v = None);
+  check bool_t "as_int rejects float" true
+    (Option.bind (Json.member "f" v) Json.as_int = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counters () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.counter" in
+  let c' = Telemetry.counter "test.counter" in
+  check int_t "fresh counter is 0" 0 (Telemetry.value c);
+  Telemetry.incr c;
+  Telemetry.add c' 10;
+  check int_t "interned: same metric" 11 (Telemetry.value c);
+  let g = Telemetry.gauge "test.gauge" in
+  Telemetry.set g 5;
+  Telemetry.set g 3;
+  check int_t "gauge keeps last value" 3 (Telemetry.value g);
+  check bool_t "snapshot sorted" true
+    (let s = List.map fst (Telemetry.snapshot ()) in
+     s = List.sort compare s);
+  check bool_t "nonzero_snapshot has both" true
+    (List.mem ("test.counter", 11) (Telemetry.nonzero_snapshot ())
+    && List.mem ("test.gauge", 3) (Telemetry.nonzero_snapshot ()))
+
+let test_delta () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.d.counter" in
+  let g = Telemetry.gauge "test.d.gauge" in
+  let z = Telemetry.counter "test.d.zero" in
+  Telemetry.add c 4;
+  Telemetry.set g 9;
+  let before = Telemetry.snapshot () in
+  Telemetry.add c 6;
+  Telemetry.set g 2;
+  let d = Telemetry.delta ~before ~after:(Telemetry.snapshot ()) in
+  check (Alcotest.option int_t) "counter delta subtracts" (Some 6)
+    (List.assoc_opt "test.d.counter" d);
+  check (Alcotest.option int_t) "gauge delta is last value" (Some 2)
+    (List.assoc_opt "test.d.gauge" d);
+  check bool_t "zero entries dropped" true
+    (List.assoc_opt "test.d.zero" d = None);
+  Telemetry.reset_metrics ();
+  check int_t "reset zeroes counters" 0 (Telemetry.value c);
+  check int_t "reset zeroes gauges" 0 (Telemetry.value g);
+  ignore z
+
+(* ------------------------------------------------------------------ *)
+(* Null sink *)
+
+let test_null_sink () =
+  with_clean_telemetry @@ fun () ->
+  check bool_t "disabled by default" false (Telemetry.enabled ());
+  check int_t "span is the plain call" 41 (Telemetry.span "x" (fun () -> 41));
+  Alcotest.check_raises "span re-raises" Exit (fun () ->
+      Telemetry.span "x" (fun () -> raise Exit));
+  (* No-ops, must not raise. *)
+  Telemetry.emit_counters ();
+  Telemetry.message "nobody listens"
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting via the collector sink *)
+
+let test_span_nesting () =
+  with_clean_telemetry @@ fun () ->
+  let events = ref [] in
+  Telemetry.set_sink (Telemetry.collector_sink (fun e -> events := e :: !events));
+  check bool_t "enabled with collector" true (Telemetry.enabled ());
+  let result =
+    Telemetry.span "outer" (fun () ->
+        let a = Telemetry.span "inner" (fun () -> 7) in
+        let b = Telemetry.span "inner2" (fun () -> 1) in
+        a + b)
+  in
+  check int_t "spans pass values through" 8 result;
+  match List.rev !events with
+  | [
+   Telemetry.Trace_start _;
+   Telemetry.Span_open { id = o; parent = None; name = "outer"; _ };
+   Telemetry.Span_open { id = i1; parent = Some p1; name = "inner"; _ };
+   Telemetry.Span_close { id = ci1; name = "inner"; dur_ns = d1; _ };
+   Telemetry.Span_open { id = i2; parent = Some p2; name = "inner2"; _ };
+   Telemetry.Span_close { id = ci2; name = "inner2"; _ };
+   Telemetry.Span_close { id = co; name = "outer"; dur_ns = d_o; _ };
+  ] ->
+      check int_t "inner parent is outer" o p1;
+      check int_t "inner2 parent is outer" o p2;
+      check int_t "inner close matches open" i1 ci1;
+      check int_t "inner2 close matches open" i2 ci2;
+      check int_t "outer close matches open" o co;
+      check bool_t "distinct ids" true (o <> i1 && o <> i2 && i1 <> i2);
+      check bool_t "durations non-negative" true
+        (Int64.compare d1 0L >= 0 && Int64.compare d_o 0L >= 0)
+  | evs ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected event sequence (%d events)" (List.length evs))
+
+let test_span_exception_close () =
+  with_clean_telemetry @@ fun () ->
+  let closes = ref 0 in
+  Telemetry.set_sink
+    (Telemetry.collector_sink (function
+      | Telemetry.Span_close _ -> incr closes
+      | _ -> ()));
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      Telemetry.span "a" (fun () ->
+          Telemetry.span "b" (fun () -> raise Exit)));
+  check int_t "both spans closed on exception" 2 !closes;
+  (* The span stack unwound: a fresh span is again a root. *)
+  let root_parent = ref (Some (-1)) in
+  Telemetry.set_sink
+    (Telemetry.collector_sink (function
+      | Telemetry.Span_open { parent; _ } -> root_parent := parent
+      | _ -> ()));
+  Telemetry.span "fresh" (fun () -> ());
+  check bool_t "stack unwound after exception" true (!root_parent = None)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL trace round-trip *)
+
+let test_jsonl_roundtrip () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  Telemetry.set_sink (Telemetry.jsonl_sink oc);
+  let c = Telemetry.counter "test.jsonl.counter" in
+  Telemetry.span "outer" (fun () ->
+      Telemetry.add c 3;
+      Telemetry.span "inner" (fun () -> Telemetry.message "hello \"quoted\""));
+  Telemetry.emit_counters ();
+  Telemetry.set_sink Telemetry.null_sink;
+  close_out oc;
+  let lines =
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  check int_t "event count" 7 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Printf.sprintf "invalid JSON line %S: %s" line e))
+      lines
+  in
+  let kind v =
+    match Option.bind (Json.member "kind" v) Json.as_string with
+    | Some k -> k
+    | None -> Alcotest.fail "line without kind"
+  in
+  check string_t "first line is trace_start" "trace_start" (kind (List.hd parsed));
+  check (Alcotest.option string_t) "trace_start carries the schema"
+    (Some Telemetry.trace_schema_version)
+    (Option.bind (Json.member "schema" (List.hd parsed)) Json.as_string);
+  (* Timestamps are monotone. *)
+  let ts =
+    List.filter_map (fun v -> Option.bind (Json.member "t_ns" v) Json.as_int) parsed
+  in
+  check int_t "every line has t_ns" (List.length parsed) (List.length ts);
+  check bool_t "t_ns monotone" true (ts = List.sort compare ts);
+  (* Spans are balanced and the counters event carries the value. *)
+  let count k = List.length (List.filter (fun v -> kind v = k) parsed) in
+  check int_t "two span_open" 2 (count "span_open");
+  check int_t "two span_close" 2 (count "span_close");
+  check int_t "one message" 1 (count "message");
+  let counters_line = List.find (fun v -> kind v = "counters") parsed in
+  check (Alcotest.option int_t) "counter value serialized" (Some 3)
+    (Option.bind
+       (Option.bind (Json.member "values" counters_line)
+          (Json.member "test.jsonl.counter"))
+       Json.as_int)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_json_print;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_json_parse;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters;
+          Alcotest.test_case "delta and reset" `Quick test_delta;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "null sink no-op" `Quick test_null_sink;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes spans" `Quick
+            test_span_exception_close;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        ] );
+    ]
