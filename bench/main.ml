@@ -29,7 +29,9 @@
    document with per-experiment wall-clock timings and kernel-counter
    deltas (and ns/run for the microbenchmarks); [--quick] restricts the
    experiments to the cheap CI smoke subset; [validate FILE] re-checks
-   a previously written JSON file against the schema. *)
+   a previously written JSON file against the schema; [compare
+   BASELINE CURRENT] gates CI on [re.enum_nodes] (fails when any
+   shared experiment exceeds the baseline by more than 10%). *)
 
 open Slocal_formalism
 module Telemetry = Slocal_obs.Telemetry
@@ -746,12 +748,22 @@ let micro () =
   let so_support = Gen.random_biregular rng0 ~nw:6 ~nb:6 ~dw:4 ~db:4 in
   let tests =
     [
-      (* B-RE: the round elimination step, by problem size. *)
-      Test.make ~name:"re_step/mm3" (Staged.stage (fun () -> Re_step.re mm3));
+      (* B-RE: the round elimination step, by problem size.  Fast
+         kernel with the cross-invocation cache disabled, so the
+         lattice search itself is measured, next to the bottom-up
+         reference kernel on the same problems. *)
+      Test.make ~name:"re_step/mm3"
+        (Staged.stage (fun () -> Re_step.re ~cache:false mm3));
+      Test.make ~name:"re_step/mm3-reference"
+        (Staged.stage (fun () -> Re_reference.re mm3));
       Test.make ~name:"re_step/pi_4(0,1)"
-        (Staged.stage (fun () -> Re_step.re pi401));
+        (Staged.stage (fun () -> Re_step.re ~cache:false pi401));
+      Test.make ~name:"re_step/pi_4(0,1)-reference"
+        (Staged.stage (fun () -> Re_reference.re pi401));
       Test.make ~name:"re_step/pi_3(2)"
-        (Staged.stage (fun () -> Re_step.re pi32));
+        (Staged.stage (fun () -> Re_step.re ~cache:false pi32));
+      Test.make ~name:"re_step/pi_3(2)-reference"
+        (Staged.stage (fun () -> Re_reference.re pi32));
       (* Ablation: diagram-based candidate pruning vs all subsets. *)
       Test.make ~name:"re_step/pruned-candidates"
         (Staged.stage (fun () ->
@@ -905,6 +917,10 @@ type experiment_record = {
 
 let run_experiment (id, title, f) =
   header id title;
+  (* Start from a cold RE cache so each experiment's counters are
+     self-contained: comparable across runs regardless of which other
+     experiments ran before (e.g. full tables vs the --quick subset). *)
+  Re_step.clear_cache ();
   let before = Telemetry.snapshot () in
   let t0 = Telemetry.now_ns () in
   f ();
@@ -1038,6 +1054,78 @@ let validate file =
           0
       | Error msg -> fail msg)
 
+(* Regression gate between two slocal.bench/1 files: for every
+   experiment id present in both, the current [re.enum_nodes] may not
+   exceed the baseline by more than 10%.  Returns the exit code
+   (0 within tolerance, 1 regressed or unreadable). *)
+let compare_reports baseline_file current_file =
+  let load file =
+    match
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Json.of_string text
+    with
+    | exception Sys_error msg -> Error msg
+    | Error msg -> Error ("invalid JSON: " ^ msg)
+    | Ok json -> Ok json
+  in
+  let enum_nodes json =
+    (* id -> re.enum_nodes, for experiments that report the counter. *)
+    match Json.member "experiments" json with
+    | None -> []
+    | Some exps ->
+        List.filter_map
+          (fun e ->
+            match
+              ( Option.bind (Json.member "id" e) Json.as_string,
+                Option.bind (Json.member "counters" e) (fun c ->
+                    Option.bind (Json.member "re.enum_nodes" c) Json.as_int) )
+            with
+            | Some id, Some n -> Some (id, n)
+            | _ -> None)
+          (Option.value ~default:[] (Json.as_list exps))
+  in
+  match (load baseline_file, load current_file) with
+  | Error msg, _ ->
+      Printf.eprintf "compare: %s: %s\n" baseline_file msg;
+      1
+  | _, Error msg ->
+      Printf.eprintf "compare: %s: %s\n" current_file msg;
+      1
+  | Ok baseline, Ok current ->
+      let base = enum_nodes baseline and cur = enum_nodes current in
+      let regressions = ref 0 and compared = ref 0 in
+      List.iter
+        (fun (id, b) ->
+          match List.assoc_opt id cur with
+          | None -> ()
+          | Some c ->
+              incr compared;
+              let limit = float_of_int b *. 1.1 in
+              let flag = float_of_int c > limit in
+              if flag then incr regressions;
+              Printf.printf "%-10s re.enum_nodes %8d -> %8d  (%.2fx)%s\n" id b
+                c
+                (float_of_int c /. float_of_int (max 1 b))
+                (if flag then "  REGRESSED" else ""))
+        base;
+      if !compared = 0 then begin
+        Printf.eprintf "compare: no shared experiments report re.enum_nodes\n";
+        1
+      end
+      else if !regressions > 0 then begin
+        Printf.printf "%d of %d experiment(s) regressed beyond 1.10x\n"
+          !regressions !compared;
+        1
+      end
+      else begin
+        Printf.printf "all %d shared experiment(s) within 1.10x of baseline\n"
+          !compared;
+        0
+      end
+
 let () =
   let json_file = ref None and quick = ref false and positional = ref [] in
   let rec parse = function
@@ -1060,6 +1148,10 @@ let () =
   | [ "validate"; file ] -> exit (validate file)
   | [ "validate" ] ->
       prerr_endline "bench: validate needs a FILE argument";
+      exit 2
+  | [ "compare"; baseline; current ] -> exit (compare_reports baseline current)
+  | "compare" :: _ ->
+      prerr_endline "bench: compare needs BASELINE and CURRENT file arguments";
       exit 2
   | positional ->
       let mode = match positional with [] -> "all" | m :: _ -> m in

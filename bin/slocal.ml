@@ -139,6 +139,20 @@ let with_telemetry ~cmd trace metrics f =
       at_exit finish;
       Fun.protect ~finally:finish f
 
+let kernel_opt =
+  let kernel_conv =
+    Arg.enum [ ("fast", Re_step.Fast); ("reference", Re_step.Reference) ]
+  in
+  Arg.(
+    value
+    & opt kernel_conv Re_step.Fast
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Round elimination kernel: $(b,fast) (packed configuration keys, \
+           memoized constraint queries, subset-lattice maximality prune, \
+           cross-invocation result cache — the default) or $(b,reference) \
+           (the original bottom-up enumerate-then-filter oracle).")
+
 let graph_arg pos_idx =
   let doc =
     "Graph spec: cycle:K (C_2K 2-colored), kbb:A:B, cover-petersen, \
@@ -171,7 +185,8 @@ let re_cmd =
   let steps =
     Arg.(value & opt int 1 & info [ "steps"; "k" ] ~doc:"Number of RE steps.")
   in
-  let run spec steps trace metrics =
+  let run spec steps kernel trace metrics =
+    Re_step.set_kernel kernel;
     with_telemetry ~cmd:"re" trace metrics @@ fun () ->
     let p = ref (parse_problem spec) in
     print_string (Problem.to_string !p);
@@ -185,7 +200,7 @@ let re_cmd =
   in
   Cmd.v
     (Cmd.info "re" ~doc:"Apply round elimination steps")
-    Term.(const run $ problem_arg $ steps $ trace_opt $ metrics_flag)
+    Term.(const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag)
 
 let lift_cmd =
   let delta =
@@ -309,7 +324,8 @@ let sequence_cmd =
   let steps =
     Arg.(value & opt int 2 & info [ "steps"; "k" ] ~doc:"Number of RE iterations.")
   in
-  let run spec steps =
+  let run spec steps kernel =
+    Re_step.set_kernel kernel;
     let p = parse_problem spec in
     let seq = Sequence.iterate_re p ~steps in
     List.iteri
@@ -336,7 +352,7 @@ let sequence_cmd =
   Cmd.v
     (Cmd.info "sequence"
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
-    Term.(const run $ problem_arg $ steps)
+    Term.(const run $ problem_arg $ steps $ kernel_opt)
 
 let stats_cmd =
   let graph_opt =
@@ -356,7 +372,8 @@ let stats_cmd =
     Arg.(
       value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
   in
-  let run spec gspec re_steps budget trace metrics =
+  let run spec gspec re_steps budget kernel trace metrics =
+    Re_step.set_kernel kernel;
     with_telemetry ~cmd:"stats" trace metrics @@ fun () ->
     let p = parse_problem spec in
     let q = ref p in
@@ -390,8 +407,8 @@ let stats_cmd =
          "Run a representative workload (RE steps, and optionally \
           lift-and-solve on a graph) and print the telemetry counter summary")
     Term.(
-      const run $ problem_arg $ graph_opt $ re_steps $ budget $ trace_opt
-      $ metrics_flag)
+      const run $ problem_arg $ graph_opt $ re_steps $ budget $ kernel_opt
+      $ trace_opt $ metrics_flag)
 
 let export_cmd =
   let run spec =

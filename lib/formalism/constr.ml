@@ -1,4 +1,9 @@
 module Multiset = Slocal_util.Multiset
+module Config_key = Slocal_util.Config_key
+module Telemetry = Slocal_obs.Telemetry
+
+let c_memo_hits = Telemetry.counter "constr.memo_hits"
+let c_memo_misses = Telemetry.counter "constr.memo_misses"
 
 module Config_set = Set.Make (struct
   type t = Multiset.t
@@ -9,10 +14,25 @@ end)
 type t = {
   arity : int;
   configs : Config_set.t;
-  (* Downward closure by size, built lazily: down.(k) is the set of all
-     size-k sub-multisets of configurations. *)
-  down : Config_set.t option array;
+  bits : int;
+      (* Key width for the packed-configuration encoding: enough bits
+         for the largest label appearing in a configuration.  All keys
+         of one constraint (membership, down-closures) use it. *)
+  member : unit Config_key.Tbl.t;
+  (* Downward closure by size, built lazily: down.(k) holds the keys of
+     all size-k sub-multisets of configurations. *)
+  down : unit Config_key.Tbl.t option array;
+  (* Memoized quantified-choice queries, one table per quantifier,
+     keyed by the canonicalized position sets (each set sorted and
+     deduplicated, the positions sorted — the answers only depend on
+     the multiset of position sets). *)
+  memo_exists : (int list list, bool) Hashtbl.t;
+  memo_for_all : (int list list, bool) Hashtbl.t;
+  memo_exists_partial : (int list list, bool) Hashtbl.t;
+  memo_for_all_partial : (int list list, bool) Hashtbl.t;
 }
+
+let key t c = Config_key.of_multiset ~bits:t.bits c
 
 let make ~arity config_list =
   List.iter
@@ -20,30 +40,47 @@ let make ~arity config_list =
       if Multiset.size c <> arity then
         invalid_arg "Constr.make: configuration has wrong size")
     config_list;
+  let configs = Config_set.of_list config_list in
+  let label_bound =
+    Config_set.fold
+      (fun c acc ->
+        List.fold_left (fun acc l -> max acc (l + 1)) acc (Multiset.to_list c))
+      configs 1
+  in
+  let bits = Config_key.bits_for label_bound in
+  let member = Config_key.Tbl.create (max 16 (Config_set.cardinal configs)) in
+  Config_set.iter
+    (fun c ->
+      Config_key.Tbl.replace member (Config_key.of_multiset ~bits c) ())
+    configs;
   {
     arity;
-    configs = Config_set.of_list config_list;
+    configs;
+    bits;
+    member;
     down = Array.make (arity + 1) None;
+    memo_exists = Hashtbl.create 64;
+    memo_for_all = Hashtbl.create 64;
+    memo_exists_partial = Hashtbl.create 64;
+    memo_for_all_partial = Hashtbl.create 64;
   }
 
 let arity t = t.arity
 let configs t = Config_set.elements t.configs
 let size t = Config_set.cardinal t.configs
-let mem c t = Config_set.mem c t.configs
+let mem c t = Config_key.Tbl.mem t.member (key t c)
 
 let down_closure t k =
   match t.down.(k) with
   | Some s -> s
   | None ->
-      let s =
-        Config_set.fold
-          (fun c acc ->
-            List.fold_left
-              (fun acc sub -> Config_set.add sub acc)
-              acc
-              (Multiset.sub_multisets k c))
-          t.configs Config_set.empty
-      in
+      let s = Config_key.Tbl.create 64 in
+      Config_set.iter
+        (fun c ->
+          List.iter
+            (fun sub -> Config_key.Tbl.replace s (key t sub) ())
+            (Multiset.sub_multisets k c))
+        t.configs;
       t.down.(k) <- Some s;
       s
 
@@ -51,10 +88,26 @@ let extendable partial t =
   let k = Multiset.size partial in
   if k > t.arity then false
   else if k = t.arity then mem partial t
-  else Config_set.mem partial (down_closure t k)
+  else Config_key.Tbl.mem (down_closure t k) (key t partial)
 
 (* Quantified-choice tests.  Positions are processed one at a time; the
-   accumulated partial multiset is pruned through [extendable]. *)
+   accumulated partial multiset is pruned through [extendable].  Each
+   query is memoized per constraint under its canonical key. *)
+
+let canonical_sets sets =
+  List.sort compare (List.map (fun s -> List.sort_uniq compare s) sets)
+
+let memoized tbl sets compute =
+  let k = canonical_sets sets in
+  match Hashtbl.find_opt tbl k with
+  | Some v ->
+      Telemetry.incr c_memo_hits;
+      v
+  | None ->
+      Telemetry.incr c_memo_misses;
+      let v = compute () in
+      Hashtbl.add tbl k v;
+      v
 
 let exists_pick ~complete sets t =
   let rec go acc = function
@@ -68,8 +121,21 @@ let exists_pick ~complete sets t =
   in
   go Multiset.empty sets
 
+let for_all_pick ~complete sets t =
+  let rec go acc = function
+    | [] -> complete acc
+    | set :: rest ->
+        List.for_all
+          (fun l ->
+            let acc' = Multiset.add l acc in
+            extendable acc' t && go acc' rest)
+          set
+  in
+  go Multiset.empty sets
+
 let exists_choice sets t =
   if List.length sets <> t.arity then invalid_arg "Constr.exists_choice: arity mismatch";
+  memoized t.memo_exists sets @@ fun () ->
   exists_pick ~complete:(fun acc -> mem acc t) sets t
 
 let for_all_choices sets t =
@@ -78,33 +144,18 @@ let for_all_choices sets t =
      pick (any completion of it), so the universal test may
      short-circuit on it.  An empty position set makes the product
      empty and the test vacuously true. *)
-  let rec go acc = function
-    | [] -> mem acc t
-    | set :: rest ->
-        List.for_all
-          (fun l ->
-            let acc' = Multiset.add l acc in
-            extendable acc' t && go acc' rest)
-          set
-  in
-  go Multiset.empty sets
+  memoized t.memo_for_all sets @@ fun () ->
+  for_all_pick ~complete:(fun acc -> mem acc t) sets t
 
 let exists_choice_partial sets t =
   if List.length sets > t.arity then invalid_arg "Constr.exists_choice_partial";
+  memoized t.memo_exists_partial sets @@ fun () ->
   exists_pick ~complete:(fun acc -> extendable acc t) sets t
 
 let for_all_choices_partial sets t =
   if List.length sets > t.arity then invalid_arg "Constr.for_all_choices_partial";
-  let rec go acc = function
-    | [] -> extendable acc t
-    | set :: rest ->
-        List.for_all
-          (fun l ->
-            let acc' = Multiset.add l acc in
-            extendable acc' t && go acc' rest)
-          set
-  in
-  go Multiset.empty sets
+  memoized t.memo_for_all_partial sets @@ fun () ->
+  for_all_pick ~complete:(fun acc -> extendable acc t) sets t
 
 let labels_used t =
   Config_set.fold

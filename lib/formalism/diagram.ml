@@ -99,10 +99,30 @@ let is_right_closed d s =
 let right_closure d s =
   Bitset.fold (fun l acc -> Bitset.union d.reach.(l) acc) s Bitset.empty
 
+(* The nonempty right-closed sets are exactly the nonempty unions of
+   [reach] sets: [reach] is transitively closed, so unions of its sets
+   are right-closed, and a right-closed [s] is the union of the reaches
+   of its members.  Enumerating the union-closure family directly costs
+   O(output × generators) instead of filtering all 2^n subsets. *)
 let right_closed_sets d =
-  let universe = Bitset.full d.size in
-  Bitset.nonempty_subsets universe
-  |> List.filter (is_right_closed d)
+  let generators =
+    Array.to_list d.reach |> List.sort_uniq Bitset.compare
+  in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen Bitset.empty ();
+  let family = ref [ Bitset.empty ] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun f ->
+          let u = Bitset.union f g in
+          if not (Hashtbl.mem seen u) then begin
+            Hashtbl.add seen u ();
+            family := u :: !family
+          end)
+        !family)
+    generators;
+  List.filter (fun s -> not (Bitset.is_empty s)) !family
   |> List.sort (fun a b ->
          compare
            (Bitset.cardinal a, Bitset.to_list a)

@@ -234,6 +234,16 @@ let label_signature p l =
   in
   (profile p.white, profile p.black)
 
+let canonical_hash p =
+  let n = Alphabet.size p.alphabet in
+  let sigs = List.sort compare (List.init n (label_signature p)) in
+  Hashtbl.hash
+    ( Constr.arity p.white,
+      Constr.arity p.black,
+      Constr.size p.white,
+      Constr.size p.black,
+      sigs )
+
 let equal_up_to_renaming a b =
   let na = Alphabet.size a.alphabet and nb = Alphabet.size b.alphabet in
   if na <> nb then false

@@ -73,4 +73,10 @@ val equal : t -> t -> bool
 val equal_up_to_renaming : t -> t -> bool
 (** Equality up to a bijective relabeling of the alphabets. *)
 
+val canonical_hash : t -> int
+(** A hash invariant under label renaming (and independent of the
+    problem name): problems equal up to renaming hash equally.  Derived
+    from the arities, constraint sizes and the sorted multiset of label
+    signatures.  Buckets the cross-invocation RE cache. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,6 @@
 module Bitset = Slocal_util.Bitset
 module Multiset = Slocal_util.Multiset
+module Config_key = Slocal_util.Config_key
 module Telemetry = Slocal_obs.Telemetry
 
 type grounding = {
@@ -7,8 +8,16 @@ type grounding = {
   meaning : Bitset.t array;
 }
 
+type kernel = Fast | Reference
+
+let kernel = ref Fast
+let set_kernel k = kernel := k
+let current_kernel () = !kernel
+
 let c_steps = Telemetry.counter "re.steps"
 let c_enum_nodes = Telemetry.counter "re.enum_nodes"
+let c_cache_hits = Telemetry.counter "re.cache_hits"
+let c_cache_misses = Telemetry.counter "re.cache_misses"
 let g_labels_out = Telemetry.gauge "re.labels_out"
 let g_strong_configs = Telemetry.gauge "re.strong_configs"
 let g_weak_configs = Telemetry.gauge "re.weak_configs"
@@ -16,7 +25,9 @@ let g_weak_configs = Telemetry.gauge "re.weak_configs"
 (* Enumerate multisets of size [arity] over [candidates] (given as an
    array, chosen with non-decreasing indices to avoid duplicates),
    keeping those accepted by [full] and pruning prefixes rejected by
-   [partial]. *)
+   [partial].  Still the engine of the weak (existential) side — whose
+   good set is upward-closed, so the lattice prune below does not apply
+   — and of the lift construction. *)
 let enumerate_set_configs ~candidates ~arity ~partial ~full =
   let cands = Array.of_list candidates in
   let k = Array.length cands in
@@ -40,19 +51,9 @@ let enumerate_set_configs ~candidates ~arity ~partial ~full =
 
 let sets_to_lists config = List.map Bitset.to_list config
 
-(* All choices over [config] lie in [constr] — with prefix pruning done
-   by the caller through [for_all_choices_partial]. *)
-let all_choices_in config constr =
-  Constr.for_all_choices (sets_to_lists config) constr
-
-let some_choice_in config constr =
-  Constr.exists_choice (sets_to_lists config) constr
-
-(* config [a] is dominated by [b]: a ≠ b and some alignment has
-   a_i ⊆ b_{φ(i)} for all i. *)
-let dominated a b =
-  a <> b
-  &&
+(* Alignment test shared with the maximality filter: [a] is dominated
+   by [b] when a ≠ b and some permutation has a_i ⊆ b_φ(i). *)
+let match_up_subset a b =
   let rec match_up a_rest b_rest =
     match a_rest with
     | [] -> true
@@ -67,14 +68,181 @@ let dominated a b =
   in
   match_up a b
 
+(* Maximal good configurations by a top-down subset-lattice search.
+
+   A set configuration is good when every per-position choice lies in
+   [constr].  Goodness is downward closed in the position-wise subset
+   order over the candidate family: shrinking a position only removes
+   choices.  So instead of enumerating the whole (large) good down-set
+   bottom-up and filtering quadratically, start from the top
+   configurations (all positions at ⊆-maximal candidates — for
+   right-closed candidate sets that is the single all-labels universe)
+   and branch downward only where a concrete violation forces it: a
+   non-good configuration admits a violating choice (w_1, …, w_k), and
+   any good configuration below it must drop w_j from some position j
+   — so its children are, for each position j, the replacements of
+   position j by a ⊆-maximal candidate subset excluding w_j.  Every
+   maximal good configuration M below cfg survives into some child:
+   were every position of (an alignment of) M to retain its witness
+   label, M would admit the same violating choice.  The collected good
+   leaves contain all maximal configurations plus some dominated ones;
+   since a strict dominator has strictly larger total cardinality, a
+   single descending-cardinality sweep against the already-accepted
+   maxima finishes the filter.
+
+   Visited configurations count into [re.enum_nodes] — the same
+   budget the bottom-up enumeration used — so kernel comparisons are
+   apples-to-apples. *)
 let maximal_good_configs ~candidates ~arity constr =
-  let good =
-    enumerate_set_configs ~candidates ~arity
-      ~partial:(fun cfg ->
-        Constr.for_all_choices_partial (sets_to_lists cfg) constr)
-      ~full:(fun cfg -> all_choices_in cfg constr)
-  in
-  List.filter (fun a -> not (List.exists (fun b -> dominated a b) good)) good
+  let cands = Array.of_list candidates in
+  let k = Array.length cands in
+  if k = 0 then []
+  else begin
+    let idxs = List.init k Fun.id in
+    let strictly_below i j =
+      i <> j && Bitset.subset cands.(i) cands.(j)
+      && not (Bitset.equal cands.(i) cands.(j))
+    in
+    let maximal_cands =
+      List.filter
+        (fun i -> not (List.exists (fun j -> strictly_below i j) idxs))
+        idxs
+    in
+    (* shrink.(i) for label l: the ⊆-maximal candidates below candidate
+       i that exclude l (computed on demand, once per (i, l)). *)
+    let shrink = Array.make k [] in
+    let shrink_excluding i l =
+      match List.assq_opt l shrink.(i) with
+      | Some js -> js
+      | None ->
+          let below =
+            List.filter
+              (fun j ->
+                (not (Bitset.mem l cands.(j)))
+                && Bitset.subset cands.(j) cands.(i))
+              idxs
+          in
+          let js =
+            List.filter
+              (fun j -> not (List.exists (fun j' -> strictly_below j j') below))
+              below
+          in
+          shrink.(i) <- (l, js) :: shrink.(i);
+          js
+    in
+    let bits = Config_key.bits_for (max 1 k) in
+    let key cfg = Config_key.of_multiset ~bits cfg in
+    let cfg_sets cfg =
+      List.map (fun i -> Bitset.to_list cands.(i)) (Multiset.to_list cfg)
+    in
+    (* A violating choice of cfg: (position, label) pairs forming a
+       {e dead} pick — a multiset no configuration of [constr] extends
+       (at full size, deadness is non-membership); [None] means cfg is
+       good.  The memoized [for_all_choices] answers the good case.
+       The walk returns the first dead partial pick it meets (falling
+       back to a full-length pick when every proper prefix stays
+       extendable), then greedily minimizes it: dropping any label
+       that leaves the pick dead.  Minimal witnesses mean minimal
+       branching — a good configuration below cfg must exclude the
+       witness label at one of the witness positions only. *)
+    let violating_choice cfg =
+      let sets = cfg_sets cfg in
+      if Constr.for_all_choices sets constr then None
+      else
+        let dead picked =
+          not (Constr.extendable (Multiset.of_list (List.map snd picked)) constr)
+        in
+        let minimize witness =
+          let rec go kept = function
+            | [] -> List.rev kept
+            | e :: rest ->
+                if dead (List.rev_append kept rest) then go kept rest
+                else go (e :: kept) rest
+          in
+          go [] witness
+        in
+        let rec go j picked = function
+          | [] ->
+              let m = Multiset.of_list (List.map snd picked) in
+              if Constr.mem m constr then None else Some (List.rev picked)
+          | s :: rest ->
+              if dead picked then Some (List.rev picked)
+              else
+                let rec first = function
+                  | [] -> None
+                  | l :: ls -> (
+                      match go (j + 1) ((j, l) :: picked) rest with
+                      | Some _ as w -> w
+                      | None -> first ls)
+                in
+                first s
+        in
+        Option.map minimize (go 0 [] sets)
+    in
+    let visited = Config_key.Tbl.create 256 in
+    let frontier = ref [] in
+    let nodes = ref 0 in
+    let rec visit cfg =
+      let kk = key cfg in
+      if not (Config_key.Tbl.mem visited kk) then begin
+        Config_key.Tbl.add visited kk ();
+        incr nodes;
+        match violating_choice cfg with
+        | None -> frontier := cfg :: !frontier
+        | Some witness ->
+            let positions = Multiset.to_list cfg in
+            List.iter
+              (fun (j, w) ->
+                let i = List.nth positions j in
+                let rest = Multiset.remove i cfg in
+                List.iter
+                  (fun t -> visit (Multiset.add t rest))
+                  (shrink_excluding i w))
+              witness
+      end
+    in
+    (* Top configurations: all size-[arity] multisets of ⊆-maximal
+       candidates (a single one when the universe is a candidate, as
+       with right-closed families). *)
+    let tops = Array.of_list maximal_cands in
+    let m = Array.length tops in
+    let rec top_configs start chosen depth =
+      if depth = arity then visit (Multiset.of_list chosen)
+      else
+        for i = start to m - 1 do
+          top_configs i (tops.(i) :: chosen) (depth + 1)
+        done
+    in
+    top_configs 0 [] 0;
+    Telemetry.add c_enum_nodes !nodes;
+    let card = Array.map Bitset.cardinal cands in
+    let total cfg =
+      List.fold_left (fun acc i -> acc + card.(i)) 0 (Multiset.to_list cfg)
+    in
+    let to_sets cfg = List.map (fun i -> cands.(i)) (Multiset.to_list cfg) in
+    let by_total_desc =
+      List.sort
+        (fun (ta, _, _) (tb, _, _) -> Int.compare tb ta)
+        (List.map (fun c -> (total c, c, to_sets c)) !frontier)
+    in
+    let accepted =
+      List.fold_left
+        (fun acc (ta, cfg, sets) ->
+          if
+            List.exists
+              (fun (tb, _, sets_b) -> tb > ta && match_up_subset sets sets_b)
+              acc
+          then acc
+          else (ta, cfg, sets) :: acc)
+        [] by_total_desc
+    in
+    (* Ascending-index-sequence order, matching the bottom-up
+       enumeration order of the reference kernel. *)
+    List.sort
+      (fun (_, a, _) (_, b, _) -> Multiset.compare a b)
+      accepted
+    |> List.map (fun (_, _, sets) -> sets)
+  end
 
 (* Single-character member names concatenate unambiguously ("MX");
    otherwise the set is wrapped as ⟨a,b,…⟩ so that nested set names
@@ -120,7 +288,7 @@ let r_core ~name ~alphabet ~strong_constr ~weak_constr =
     enumerate_set_configs ~candidates:sigma' ~arity:(Constr.arity weak_constr)
       ~partial:(fun cfg ->
         Constr.exists_choice_partial (sets_to_lists cfg) weak_constr)
-      ~full:(fun cfg -> some_choice_in cfg weak_constr)
+      ~full:(fun cfg -> Constr.exists_choice (sets_to_lists cfg) weak_constr)
   in
   let strong' =
     Constr.make ~arity:(Constr.arity strong_constr)
@@ -135,23 +303,84 @@ let r_core ~name ~alphabet ~strong_constr ~weak_constr =
   Telemetry.set g_weak_configs (List.length weak_configs);
   (name, alphabet', strong', weak', meaning)
 
-let r_black (p : Problem.t) =
+let r_black_fast (p : Problem.t) =
   let name, alphabet, black, white, meaning =
     r_core ~name:("R(" ^ p.Problem.name ^ ")") ~alphabet:p.Problem.alphabet
       ~strong_constr:p.Problem.black ~weak_constr:p.Problem.white
   in
   { problem = Problem.make ~name ~alphabet ~white ~black; meaning }
 
-let r_white (p : Problem.t) =
+let r_white_fast (p : Problem.t) =
   let name, alphabet, white, black, meaning =
     r_core ~name:("R̄(" ^ p.Problem.name ^ ")") ~alphabet:p.Problem.alphabet
       ~strong_constr:p.Problem.white ~weak_constr:p.Problem.black
   in
   { problem = Problem.make ~name ~alphabet ~white ~black; meaning }
 
-let re p =
-  let step1 = r_black p in
-  let step2 = r_white step1.problem in
-  Problem.rename step2.problem ("RE(" ^ p.Problem.name ^ ")")
+let r_black p =
+  match !kernel with
+  | Fast -> r_black_fast p
+  | Reference ->
+      let problem, meaning = Re_reference.r_black p in
+      { problem; meaning }
+
+let r_white p =
+  match !kernel with
+  | Fast -> r_white_fast p
+  | Reference ->
+      let problem, meaning = Re_reference.r_white p in
+      { problem; meaning }
+
+(* Cross-invocation RE cache.  Fixed-point checks and sequence
+   verification recompute RE on problems just produced by RE; caching
+   by structural problem equality makes those reuses free.  Buckets are
+   keyed by the renaming-invariant [Problem.canonical_hash], but a hit
+   additionally requires structural [Problem.equal] (same alphabet
+   names and order): a renamed variant must re-run, because the result
+   alphabet is built from the input label names.  The cached value is
+   independent of the input problem's own name; the RE(...) name is
+   re-applied per call. *)
+
+let result_cache : (int, (Problem.t * Problem.t) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let result_cache_entries = ref 0
+let max_result_cache_entries = 512
+
+let clear_cache () =
+  Hashtbl.reset result_cache;
+  result_cache_entries := 0
+
+let re_fast p =
+  let step1 = r_black_fast p in
+  let step2 = r_white_fast step1.problem in
+  step2.problem
+
+let re ?(cache = true) p =
+  let renamed result = Problem.rename result ("RE(" ^ p.Problem.name ^ ")") in
+  match !kernel with
+  | Reference -> Re_reference.re p
+  | Fast when not cache -> renamed (re_fast p)
+  | Fast ->
+      let h = Problem.canonical_hash p in
+      let bucket = Option.value (Hashtbl.find_opt result_cache h) ~default:[] in
+      let hit =
+        List.find_opt (fun (q, _) -> Problem.equal q p) bucket
+      in
+      (match hit with
+      | Some (_, result) ->
+          Telemetry.incr c_cache_hits;
+          renamed result
+      | None ->
+          Telemetry.incr c_cache_misses;
+          let result = re_fast p in
+          if !result_cache_entries >= max_result_cache_entries then
+            clear_cache ();
+          let bucket =
+            Option.value (Hashtbl.find_opt result_cache h) ~default:[]
+          in
+          Hashtbl.replace result_cache h ((p, result) :: bucket);
+          incr result_cache_entries;
+          renamed result)
 
 let is_fixed_point p = Problem.equal_up_to_renaming (re p) p

@@ -16,7 +16,20 @@
     The labels of [R(Π)] are sets of labels of [Π].  This module
     re-grounds them as fresh atomic labels and returns the {e meaning}
     of each new label — the set of old labels it stands for — so that
-    steps can be chained. *)
+    steps can be chained.
+
+    {b Kernels.}  Two implementations coexist.  The {e fast} kernel
+    (default) finds the maximal good configurations by a top-down
+    subset-lattice search that expands only non-good configurations
+    (goodness is downward closed), answers constraint queries through
+    {!Constr}'s packed-key memo tables, and caches whole RE results
+    across invocations keyed by structural problem equality.  The
+    {e reference} kernel is the original bottom-up
+    enumerate-then-filter implementation, kept verbatim in
+    {!Re_reference} as a differential oracle.  {!set_kernel} switches
+    the [r_black]/[r_white]/[re]/[is_fixed_point] entry points between
+    the two (the CLI exposes it as [--kernel reference|fast]); both
+    kernels produce identical problems. *)
 
 type grounding = {
   problem : Problem.t;
@@ -24,6 +37,14 @@ type grounding = {
       (** [meaning.(l)] is the set of previous-alphabet labels that the
           new label [l] denotes. *)
 }
+
+type kernel = Fast | Reference
+
+val set_kernel : kernel -> unit
+(** Select the implementation behind {!r_black}, {!r_white}, {!re} and
+    {!is_fixed_point}.  Default: [Fast]. *)
+
+val current_kernel : unit -> kernel
 
 val r_black : Problem.t -> grounding
 (** The operator [R]: maximality on the black side, existence on the
@@ -33,12 +54,20 @@ val r_white : Problem.t -> grounding
 (** The operator [R̄]: maximality on the white side, existence on the
     black side. *)
 
-val re : Problem.t -> Problem.t
-(** [RE(Π) = R̄(R(Π))], with fresh atomic labels. *)
+val re : ?cache:bool -> Problem.t -> Problem.t
+(** [RE(Π) = R̄(R(Π))], with fresh atomic labels.  With the fast
+    kernel, results are cached across invocations (hits require
+    structural {!Problem.equal}; buckets use
+    {!Problem.canonical_hash}; [re.cache_hits]/[re.cache_misses]
+    count both outcomes).  Pass [~cache:false] to force a full
+    recomputation (benchmarks). *)
 
 val is_fixed_point : Problem.t -> bool
 (** Is [RE(Π)] equal to [Π] up to label renaming?  (E.g. Lemma 5.4:
     [Π_Δ(k)] is a fixed point whenever [k <= Δ].) *)
+
+val clear_cache : unit -> unit
+(** Drop all cached RE results (tests and benchmarks). *)
 
 val enumerate_set_configs :
   candidates:Slocal_util.Bitset.t list ->
@@ -49,7 +78,8 @@ val enumerate_set_configs :
 (** Enumerate multisets of size [arity] over [candidates] (results as
     sorted-by-candidate-order lists), pruning any prefix rejected by
     [partial] and keeping completions accepted by [full].  Shared by
-    the [R]/[R̄] operators and the lift construction. *)
+    the weak (existential) side of the [R]/[R̄] operators and the lift
+    construction. *)
 
 val set_name : Alphabet.t -> Slocal_util.Bitset.t -> string
 (** Printable name of a label set (concatenation for single-character
@@ -60,6 +90,9 @@ val maximal_good_configs :
   arity:int ->
   Constr.t ->
   Slocal_util.Bitset.t list list
-(** Exposed for testing: the maximal multisets (given as sorted lists)
-    of candidate label-sets, of size [arity], all whose choices lie in
-    the given constraint. *)
+(** The maximal multisets (given as sorted lists) of candidate
+    label-sets, of size [arity], all whose choices lie in the given
+    constraint — computed by the fast top-down lattice search
+    regardless of {!set_kernel} (the reference implementation lives in
+    {!Re_reference.maximal_good_configs}).  Visited lattice nodes
+    count into [re.enum_nodes]. *)

@@ -3,7 +3,13 @@
     A list [Π_0, …, Π_k] is a lower-bound sequence when each [Π_i] is a
     relaxation of [RE(Π_{i-1})].  Theorem B.2 converts such a sequence,
     plus 0-round unsolvability of [Π_k], into a round lower bound for
-    [Π_0].  This module builds and machine-checks sequences. *)
+    [Π_0].  This module builds and machine-checks sequences.
+
+    Both {!check} and {!iterate_re} go through {!Re_step.re}, whose
+    fast kernel caches results across invocations: building a sequence
+    with {!iterate_re} and then verifying it with {!check} recomputes
+    no RE step (the second pass hits the cache, counted in
+    [re.cache_hits]). *)
 
 type step = {
   index : int;

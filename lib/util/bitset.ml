@@ -22,7 +22,7 @@ let cardinal s =
   go s 0
 
 let equal a b = a = b
-let compare = Stdlib.compare
+let compare = Int.compare
 let of_list xs = List.fold_left (fun s i -> add i s) empty xs
 
 let to_list s =
@@ -37,11 +37,47 @@ let full n =
   if n < 0 || n > max_universe then invalid_arg "Bitset.full";
   if n = 0 then 0 else (1 lsl n) - 1
 
-let fold f s init = List.fold_left (fun acc i -> f i acc) init (to_list s)
-let iter f s = List.iter f (to_list s)
-let for_all p s = List.for_all p (to_list s)
-let exists p s = List.exists p (to_list s)
-let filter p s = fold (fun i acc -> if p i then add i acc else acc) s empty
+(* The traversals walk the word directly (shift out the low bit,
+   tracking the element index) instead of materializing [to_list]:
+   no allocation, early exit for the quantifiers. *)
+let fold f s init =
+  let rec go i s acc =
+    if s = 0 then acc
+    else
+      let acc = if s land 1 = 1 then f i acc else acc in
+      go (i + 1) (s lsr 1) acc
+  in
+  go 0 s init
+
+let iter f s =
+  let rec go i s =
+    if s <> 0 then begin
+      if s land 1 = 1 then f i;
+      go (i + 1) (s lsr 1)
+    end
+  in
+  go 0 s
+
+let for_all p s =
+  let rec go i s =
+    s = 0 || ((s land 1 = 0 || p i) && go (i + 1) (s lsr 1))
+  in
+  go 0 s
+
+let exists p s =
+  let rec go i s =
+    s <> 0 && ((s land 1 = 1 && p i) || go (i + 1) (s lsr 1))
+  in
+  go 0 s
+
+let filter p s =
+  let rec go i s acc =
+    if s = 0 then acc
+    else
+      let acc = if s land 1 = 1 && p i then acc lor (1 lsl i) else acc in
+      go (i + 1) (s lsr 1) acc
+  in
+  go 0 s 0
 let choose s = if s = 0 then raise Not_found else
   let rec go i = if mem i s then i else go (i + 1) in
   go 0

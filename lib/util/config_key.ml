@@ -1,0 +1,34 @@
+type t = Packed of int | Wide of int list
+
+let bits_for bound =
+  if bound <= 1 then 1
+  else
+    let rec go b n = if n = 0 then b else go (b + 1) (n lsr 1) in
+    go 0 (bound - 1)
+
+let of_multiset ~bits m =
+  match Multiset.pack ~bits m with
+  | Some k -> Packed k
+  | None -> Wide (Multiset.to_list m)
+
+let equal a b =
+  match (a, b) with
+  | Packed x, Packed y -> x = y
+  | Wide x, Wide y -> x = y
+  | Packed _, Wide _ | Wide _, Packed _ -> false
+
+let hash = function Packed k -> k * 0x9E3779B1 | Wide l -> Hashtbl.hash l
+
+let compare a b =
+  match (a, b) with
+  | Packed x, Packed y -> Int.compare x y
+  | Wide x, Wide y -> Stdlib.compare x y
+  | Packed _, Wide _ -> -1
+  | Wide _, Packed _ -> 1
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,25 @@
+(** Packed configuration keys.
+
+    The round elimination and constraint kernels intern configurations
+    (multisets of labels) as hash-table keys.  A configuration over a
+    small alphabet packs into a single immediate [int]
+    ({!Multiset.pack}); larger configurations fall back to the sorted
+    element list.  Either way [equal]/[hash]/[compare] agree with
+    multiset equality, so the two representations can share a table as
+    long as every key in it was built with the same [bits]. *)
+
+type t = Packed of int | Wide of int list
+
+val bits_for : int -> int
+(** [bits_for bound] is the number of bits needed to store the labels
+    [0 .. bound-1] (at least 1). *)
+
+val of_multiset : bits:int -> Multiset.t -> t
+(** Key of a multiset, packed when it fits ([Multiset.pack]), wide
+    otherwise.  Injective for a fixed [bits]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+
+module Tbl : Hashtbl.S with type key = t

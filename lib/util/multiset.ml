@@ -59,6 +59,21 @@ let sub_multisets k m =
   in
   go k groups
 
+(* Pack the sorted elements into one non-negative [int], [bits] bits
+   per element, below a leading guard bit (so packings of different
+   sizes never collide for a fixed [bits]).  Returns [None] when an
+   element needs more than [bits] bits or the total exceeds an [int]. *)
+let pack ~bits m =
+  if bits <= 0 then invalid_arg "Multiset.pack: bits must be positive";
+  let rec go acc used = function
+    | [] -> Some acc
+    | x :: rest ->
+        if x < 0 || x lsr bits <> 0 then None
+        else if used + bits > 62 then None
+        else go ((acc lsl bits) lor x) (used + bits) rest
+  in
+  go 1 1 m
+
 let pp ?(sep = " ") pp_elt fmt m =
   Format.pp_print_list
     ~pp_sep:(fun fmt () -> Format.pp_print_string fmt sep)

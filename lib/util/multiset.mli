@@ -57,4 +57,12 @@ val sub_multisets : int -> t -> t list
 (** [sub_multisets k m] enumerates the distinct sub-multisets of [m] of
     size [k], without duplicates. *)
 
+val pack : bits:int -> t -> int option
+(** [pack ~bits m] packs the (sorted) elements of [m] into a single
+    non-negative [int], [bits] bits per element, under a leading guard
+    bit — so packings of different sizes never collide for a fixed
+    [bits].  [None] when some element does not fit in [bits] bits or
+    the packing would exceed the 62 usable bits of an [int].
+    @raise Invalid_argument if [bits <= 0]. *)
+
 val pp : ?sep:string -> (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+(* A small seeded property-testing harness over [Slocal_util.Prng].
+
+   Every run is reproducible from one integer seed: case [i] of a
+   property draws from a generator seeded by [seed] and the case
+   number, so a failure report quotes exactly what must be re-run.
+   Counterexamples are shrunk greedily through a caller-supplied
+   shrink function before being printed.
+
+   The harness is deliberately tiny — properties are plain functions
+   to [bool] (an exception also counts as a failure), and the suite in
+   [test_proptest.ml] plugs the result into Alcotest. *)
+
+module Prng = Slocal_util.Prng
+module Multiset = Slocal_util.Multiset
+module Combinat = Slocal_util.Combinat
+open Slocal_formalism
+
+type 'a gen = Prng.t -> 'a
+
+type 'a property = {
+  name : string;
+  count : int;
+  gen : 'a gen;
+  print : 'a -> string;
+  shrink : 'a -> 'a list;
+  prop : 'a -> bool;
+}
+
+let property ?(count = 200) ?(shrink = fun _ -> []) ~name ~gen ~print prop =
+  { name; count; gen; print; shrink; prop }
+
+(* [true] iff the case passes; exceptions are failures (and are
+   reported with the counterexample). *)
+let passes p x = match p.prop x with v -> v | exception _ -> false
+
+let shrink_to_fixpoint p x0 =
+  let budget = ref 1000 in
+  let rec go x =
+    if !budget <= 0 then x
+    else
+      match List.find_opt (fun y -> decr budget; not (passes p y)) (p.shrink x) with
+      | Some y -> go y
+      | None -> x
+  in
+  go x0
+
+(* Run the property; raises [Failure] with a reproduction message on
+   the first failing case. *)
+let run ~seed p =
+  for i = 0 to p.count - 1 do
+    let rng = Prng.create (Hashtbl.hash (seed, i, p.name)) in
+    let x = p.gen rng in
+    if not (passes p x) then begin
+      let small = shrink_to_fixpoint p x in
+      failwith
+        (Printf.sprintf
+           "property %S: case %d/%d failed (rerun with PROPTEST_SEED=%d)\n\
+            counterexample:\n%s\nshrunk:\n%s"
+           p.name (i + 1) p.count seed (p.print x) (p.print small))
+    end
+  done
+
+let seed_from_env ~default =
+  match Sys.getenv_opt "PROPTEST_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> default)
+  | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let int_range lo hi g = lo + Prng.int g (hi - lo + 1)
+
+(* A fresh alphabet of [size] single-letter labels. *)
+let alphabet ~size =
+  Alphabet.of_names
+    (List.init size (fun i -> String.make 1 (Char.chr (Char.code 'A' + i))))
+
+let multiset ~size ~labels g =
+  Multiset.of_list (List.init size (fun _ -> Prng.pick g labels))
+
+(* A random non-empty constraint of the given arity: each size-[arity]
+   multiset over [labels] is kept independently; if the coin drops
+   everything, one random configuration keeps the constraint legal. *)
+let constr ~arity ~labels g =
+  let all = Combinat.multisets_of_size arity labels in
+  let kept =
+    List.filter (fun _ -> Prng.int g 100 < 40) all
+    |> List.map Multiset.of_list
+  in
+  let kept = if kept = [] then [ multiset ~size:arity ~labels g ] else kept in
+  Constr.make ~arity kept
+
+(* A random bipartite problem with the given arity profile.  Labels
+   never used by either constraint are common under small keep
+   probabilities and are kept: RE must handle them. *)
+let problem ~d_white ~d_black g =
+  let n = int_range 2 4 g in
+  let labels = List.init n (fun i -> i) in
+  Problem.make ~name:"random" ~alphabet:(alphabet ~size:n)
+    ~white:(constr ~arity:d_white ~labels g)
+    ~black:(constr ~arity:d_black ~labels g)
+
+(* Shrinking by configuration deletion: every problem obtained by
+   dropping one configuration from one side (constraints stay
+   non-empty). *)
+let shrink_problem (p : Problem.t) =
+  let drop_each configs =
+    if List.length configs <= 1 then []
+    else
+      List.mapi
+        (fun i _ -> List.filteri (fun j _ -> j <> i) configs)
+        configs
+  in
+  let rebuild ~white ~black =
+    Problem.make ~name:p.Problem.name ~alphabet:p.Problem.alphabet
+      ~white:(Constr.make ~arity:(Constr.arity p.Problem.white) white)
+      ~black:(Constr.make ~arity:(Constr.arity p.Problem.black) black)
+  in
+  let whites = Constr.configs p.Problem.white
+  and blacks = Constr.configs p.Problem.black in
+  List.map (fun w -> rebuild ~white:w ~black:blacks) (drop_each whites)
+  @ List.map (fun b -> rebuild ~white:whites ~black:b) (drop_each blacks)
+
+let print_problem (p : Problem.t) = Problem.to_string p
+
+(* Condensed query: one non-empty label set per position. *)
+let query ~positions ~labels g =
+  List.init positions (fun _ ->
+      let s = List.filter (fun _ -> Prng.bool g) labels in
+      if s = [] then [ Prng.pick g labels ] else s)

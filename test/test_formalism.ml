@@ -336,6 +336,92 @@ let test_sequence_empty_and_singleton () =
   check (Alcotest.option bool_t) "vacuously a sequence" (Some true)
     (Sequence.is_lower_bound_sequence [ mm3 ])
 
+(* ------------------------------------------------------------------ *)
+(* Golden RE regressions: label and configuration counts of [R] and
+   [RE] on the Section 4–6 problem families, pinned to the values the
+   seed implementation produced.  A kernel change that alters any of
+   these numbers changed the operator, not just its speed. *)
+
+module Re_reference = Slocal_formalism.Re_reference
+
+let golden_cases =
+  (* spec, (labels, white, black) after R, same after RE *)
+  [
+    ("matching:4:0:1", (6, 63, 4), (9, 6, 231));
+    ("matching:4:1:1", (6, 66, 4), (9, 6, 256));
+    ("mm:3", (4, 13, 2), (6, 3, 31));
+    ("arb:3:2", (4, 8, 2), (4, 3, 5));
+    ("arb:4:3", (8, 117, 4), (8, 7, 14));
+    ("ruling:3:2:1", (12, 186, 6), (29, 23, 248));
+    ("so:3", (2, 3, 1), (2, 1, 3));
+  ]
+
+let golden_problem spec =
+  match String.split_on_char ':' spec with
+  | [ "matching"; d; x; y ] ->
+      Slocal_problems.Matching_family.pi ~delta:(int_of_string d)
+        ~x:(int_of_string x) ~y:(int_of_string y)
+  | [ "mm"; d ] ->
+      Slocal_problems.Matching_family.maximal_matching ~delta:(int_of_string d)
+  | [ "arb"; d; c ] ->
+      Slocal_problems.Coloring_family.pi ~delta:(int_of_string d)
+        ~c:(int_of_string c)
+  | [ "ruling"; d; c; b ] ->
+      Slocal_problems.Ruling_family.pi ~delta:(int_of_string d)
+        ~c:(int_of_string c) ~beta:(int_of_string b)
+  | [ "so"; d ] ->
+      Slocal_problems.Classic.sinkless_orientation ~delta:(int_of_string d)
+  | _ -> invalid_arg spec
+
+let shape (p : Problem.t) =
+  (Alphabet.size p.Problem.alphabet, Constr.size p.Problem.white,
+   Constr.size p.Problem.black)
+
+let shape_t = Alcotest.(triple int int int)
+
+let golden_tests =
+  List.concat_map
+    (fun (spec, after_r, after_re) ->
+      List.map
+        (fun (kernel, kname) ->
+          Alcotest.test_case (Printf.sprintf "%s (%s)" spec kname) `Quick
+            (fun () ->
+              Re_step.set_kernel kernel;
+              Re_step.clear_cache ();
+              let p = golden_problem spec in
+              check shape_t "after R" after_r
+                (shape (Re_step.r_black p).Re_step.problem);
+              check shape_t "after RE" after_re (shape (Re_step.re p));
+              Re_step.set_kernel Re_step.Fast))
+        [ (Re_step.Fast, "fast"); (Re_step.Reference, "reference") ])
+    golden_cases
+
+let test_kernels_agree_structurally () =
+  (* Beyond the counts: both kernels emit the very same problem. *)
+  List.iter
+    (fun (spec, _, _) ->
+      let p = golden_problem spec in
+      check bool_t spec true
+        (Problem.equal (Re_step.re ~cache:false p) (Re_reference.re p)))
+    [ ("mm:3", (), ()); ("arb:3:2", (), ()); ("so:3", (), ()) ]
+
+let test_re_cache_hits () =
+  let hits = Slocal_obs.Telemetry.counter "re.cache_hits" in
+  Re_step.set_kernel Re_step.Fast;
+  Re_step.clear_cache ();
+  let p = golden_problem "mm:3" in
+  let q1 = Re_step.re p in
+  let before = Slocal_obs.Telemetry.value hits in
+  let q2 = Re_step.re p in
+  check bool_t "second call hits the cache" true
+    (Slocal_obs.Telemetry.value hits = before + 1);
+  check bool_t "cached result is the same problem" true (Problem.equal q1 q2);
+  Re_step.clear_cache ();
+  let q3 = Re_step.re p in
+  check bool_t "cleared cache misses" true
+    (Slocal_obs.Telemetry.value hits = before + 1);
+  check bool_t "recomputed result equal" true (Problem.equal q1 q3)
+
 let prop_random_problem_roundtrip =
   (* Random small problems round-trip through the document format. *)
   QCheck.Test.make ~name:"random problems round-trip of_string/to_string"
@@ -455,6 +541,13 @@ let () =
           Alcotest.test_case "R̄ meanings" `Quick test_r_white_meanings;
           Alcotest.test_case "RE composition" `Quick test_re_is_composition;
           Alcotest.test_case "sequence degenerate cases" `Quick test_sequence_empty_and_singleton;
+        ] );
+      ("golden RE", golden_tests);
+      ( "kernel",
+        [
+          Alcotest.test_case "fast = reference structurally" `Quick
+            test_kernels_agree_structurally;
+          Alcotest.test_case "result cache" `Quick test_re_cache_hits;
         ] );
       ("properties", qsuite);
     ]

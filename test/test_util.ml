@@ -112,6 +112,80 @@ let prop_bitset_roundtrip =
     QCheck.(small_list (int_bound 20))
     (fun xs -> Bitset.to_list (Bitset.of_list xs) = List.sort_uniq compare xs)
 
+(* The bit-walking traversals are pinned to the list-based semantics:
+   each must behave exactly as the same List function over [to_list]
+   (ascending element order — [fold] and [iter] observe it). *)
+let bitset_gen = QCheck.(map (fun xs -> Bitset.of_list xs) (small_list (int_bound 20)))
+
+let prop_bitset_fold_is_list_fold =
+  QCheck.Test.make ~name:"bitset fold = List.fold_left over to_list" ~count:200
+    bitset_gen
+    (fun s ->
+      Bitset.fold (fun i acc -> i :: acc) s []
+      = List.fold_left (fun acc i -> i :: acc) [] (Bitset.to_list s))
+
+let prop_bitset_iter_is_list_iter =
+  QCheck.Test.make ~name:"bitset iter = List.iter over to_list" ~count:200
+    bitset_gen
+    (fun s ->
+      let seen = ref [] in
+      Bitset.iter (fun i -> seen := i :: !seen) s;
+      List.rev !seen = Bitset.to_list s)
+
+let prop_bitset_quantifiers_are_list_quantifiers =
+  QCheck.Test.make ~name:"bitset for_all/exists = List for_all/exists"
+    ~count:200
+    QCheck.(pair bitset_gen (int_bound 20))
+    (fun (s, k) ->
+      let p i = i mod (k + 1) = 0 in
+      Bitset.for_all p s = List.for_all p (Bitset.to_list s)
+      && Bitset.exists p s = List.exists p (Bitset.to_list s))
+
+let prop_bitset_filter_is_list_filter =
+  QCheck.Test.make ~name:"bitset filter = List.filter over to_list" ~count:200
+    QCheck.(pair bitset_gen (int_bound 20))
+    (fun (s, k) ->
+      let p i = i mod (k + 1) = 0 in
+      Bitset.to_list (Bitset.filter p s) = List.filter p (Bitset.to_list s))
+
+let prop_bitset_compare_total_order =
+  QCheck.Test.make ~name:"bitset compare is a total order consistent with equal"
+    ~count:200
+    QCheck.(pair bitset_gen bitset_gen)
+    (fun (a, b) ->
+      (Bitset.compare a b = 0) = Bitset.equal a b
+      && Bitset.compare a b = -Bitset.compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* Packed configuration keys *)
+
+module Config_key = Slocal_util.Config_key
+
+let small_multiset_gen =
+  QCheck.(map (fun xs -> ms xs) (list_of_size Gen.(0 -- 6) (int_bound 6)))
+
+let prop_pack_injective =
+  QCheck.Test.make ~name:"Multiset.pack is injective on same-size multisets"
+    ~count:500
+    QCheck.(pair small_multiset_gen small_multiset_gen)
+    (fun (a, b) ->
+      let bits = Slocal_util.Config_key.bits_for 7 in
+      match (Multiset.pack ~bits a, Multiset.pack ~bits b) with
+      | Some ka, Some kb ->
+          if Multiset.equal a b then ka = kb
+          else Multiset.size a <> Multiset.size b || ka <> kb
+      | _ -> false (* 7 labels × ≤6 copies always fits a word *))
+
+let prop_config_key_equal_hash =
+  QCheck.Test.make ~name:"Config_key equal implies equal hash" ~count:500
+    QCheck.(pair small_multiset_gen small_multiset_gen)
+    (fun (a, b) ->
+      let bits = Config_key.bits_for 7 in
+      let ka = Config_key.of_multiset ~bits a
+      and kb = Config_key.of_multiset ~bits b in
+      Config_key.equal ka kb = Multiset.equal a b
+      && ((not (Config_key.equal ka kb)) || Config_key.hash ka = Config_key.hash kb))
+
 (* ------------------------------------------------------------------ *)
 (* Combinat *)
 
@@ -221,6 +295,13 @@ let qsuite =
       prop_multiset_roundtrip;
       prop_bitset_subsets_count;
       prop_bitset_roundtrip;
+      prop_bitset_fold_is_list_fold;
+      prop_bitset_iter_is_list_iter;
+      prop_bitset_quantifiers_are_list_quantifiers;
+      prop_bitset_filter_is_list_filter;
+      prop_bitset_compare_total_order;
+      prop_pack_injective;
+      prop_config_key_equal_hash;
       prop_multisets_count;
     ]
 
