@@ -31,7 +31,10 @@
    experiments to the cheap CI smoke subset; [validate FILE] re-checks
    a previously written JSON file against the schema; [compare
    BASELINE CURRENT] gates CI on [re.enum_nodes] (fails when any
-   shared experiment exceeds the baseline by more than 10%). *)
+   shared experiment exceeds the baseline by more than 10%); [report
+   BASELINE CURRENT] renders the same comparison as a markdown
+   regression report (wall-clock and counter deltas, gate flags,
+   microbenchmark table) suitable for pasting into a PR description. *)
 
 open Slocal_formalism
 module Telemetry = Slocal_obs.Telemetry
@@ -1054,40 +1057,80 @@ let validate file =
           0
       | Error msg -> fail msg)
 
+(* --- shared loading/extraction helpers for [compare] and [report] --- *)
+
+let load_report file =
+  match
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Json.of_string text
+  with
+  | exception Sys_error msg -> Error msg
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok json -> Ok json
+
+(* id -> (wall_ns option, counters), in file order. *)
+let experiments_of json =
+  match Json.member "experiments" json with
+  | None -> []
+  | Some exps ->
+      List.filter_map
+        (fun e ->
+          match Option.bind (Json.member "id" e) Json.as_string with
+          | None -> None
+          | Some id ->
+              let wall = Option.bind (Json.member "wall_ns" e) Json.as_int in
+              let counters =
+                match
+                  Option.bind (Json.member "counters" e) Json.as_obj
+                with
+                | None -> []
+                | Some kvs ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map (fun n -> (k, n)) (Json.as_int v))
+                      kvs
+              in
+              Some (id, (wall, counters)))
+        (Option.value ~default:[] (Json.as_list exps))
+
+(* id -> re.enum_nodes, for experiments that report the counter. *)
+let enum_nodes json =
+  List.filter_map
+    (fun (id, (_, counters)) ->
+      Option.map
+        (fun n -> (id, n))
+        (List.assoc_opt "re.enum_nodes" counters))
+    (experiments_of json)
+
+let benchmarks_of json =
+  match Json.member "benchmarks" json with
+  | None -> []
+  | Some l ->
+      List.filter_map
+        (fun b ->
+          match
+            ( Option.bind (Json.member "name" b) Json.as_string,
+              Option.bind (Json.member "ns_per_run" b) Json.as_float )
+          with
+          | Some name, Some ns -> Some (name, ns)
+          | _ -> None)
+        (Option.value ~default:[] (Json.as_list l))
+
+(* The CI gate: current may not exceed baseline by more than 10%. *)
+let gate_ratio = 1.10
+
+let ratio_of cur base = float_of_int cur /. float_of_int (max 1 base)
+let breaches_gate ~base ~cur = float_of_int cur > float_of_int base *. gate_ratio
+
 (* Regression gate between two slocal.bench/1 files: for every
    experiment id present in both, the current [re.enum_nodes] may not
    exceed the baseline by more than 10%.  Returns the exit code
    (0 within tolerance, 1 regressed or unreadable). *)
 let compare_reports baseline_file current_file =
-  let load file =
-    match
-      let ic = open_in file in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      Json.of_string text
-    with
-    | exception Sys_error msg -> Error msg
-    | Error msg -> Error ("invalid JSON: " ^ msg)
-    | Ok json -> Ok json
-  in
-  let enum_nodes json =
-    (* id -> re.enum_nodes, for experiments that report the counter. *)
-    match Json.member "experiments" json with
-    | None -> []
-    | Some exps ->
-        List.filter_map
-          (fun e ->
-            match
-              ( Option.bind (Json.member "id" e) Json.as_string,
-                Option.bind (Json.member "counters" e) (fun c ->
-                    Option.bind (Json.member "re.enum_nodes" c) Json.as_int) )
-            with
-            | Some id, Some n -> Some (id, n)
-            | _ -> None)
-          (Option.value ~default:[] (Json.as_list exps))
-  in
-  match (load baseline_file, load current_file) with
+  match (load_report baseline_file, load_report current_file) with
   | Error msg, _ ->
       Printf.eprintf "compare: %s: %s\n" baseline_file msg;
       1
@@ -1103,12 +1146,10 @@ let compare_reports baseline_file current_file =
           | None -> ()
           | Some c ->
               incr compared;
-              let limit = float_of_int b *. 1.1 in
-              let flag = float_of_int c > limit in
+              let flag = breaches_gate ~base:b ~cur:c in
               if flag then incr regressions;
               Printf.printf "%-10s re.enum_nodes %8d -> %8d  (%.2fx)%s\n" id b
-                c
-                (float_of_int c /. float_of_int (max 1 b))
+                c (ratio_of c b)
                 (if flag then "  REGRESSED" else ""))
         base;
       if !compared = 0 then begin
@@ -1123,6 +1164,159 @@ let compare_reports baseline_file current_file =
       else begin
         Printf.printf "all %d shared experiment(s) within 1.10x of baseline\n"
           !compared;
+        0
+      end
+
+(* [report BASE CUR]: a markdown regression report suitable for pasting
+   into a PR description — per-experiment wall-clock and re.enum_nodes
+   deltas with the same 1.10x gate as [compare], notable changes in the
+   other kernel counters, and the shared microbenchmark timings.
+   Returns the gate's exit code (0 within tolerance, 1 regressed or
+   unreadable). *)
+let report_markdown baseline_file current_file =
+  match (load_report baseline_file, load_report current_file) with
+  | Error msg, _ ->
+      Printf.eprintf "report: %s: %s\n" baseline_file msg;
+      1
+  | _, Error msg ->
+      Printf.eprintf "report: %s: %s\n" current_file msg;
+      1
+  | Ok baseline, Ok current ->
+      let p = Printf.printf in
+      let pretty_ns ns =
+        let ns = float_of_int ns in
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      let base_exps = experiments_of baseline
+      and cur_exps = experiments_of current in
+      let shared =
+        List.filter_map
+          (fun (id, b) ->
+            Option.map (fun c -> (id, b, c)) (List.assoc_opt id cur_exps))
+          base_exps
+      in
+      p "# Bench regression report\n\n";
+      p "baseline: `%s` — current: `%s`\n\n" baseline_file current_file;
+      p "Gate: per-experiment `re.enum_nodes` may not exceed the baseline \
+         by more than %.0f%%.\n\n"
+        ((gate_ratio -. 1.) *. 100.);
+      (* --- per-experiment wall clock and the gated counter --- *)
+      p "## Experiments\n\n";
+      p "| id | wall (base) | wall (cur) | wall Δ | enum_nodes (base) | \
+         enum_nodes (cur) | Δ | gate |\n";
+      p "|---|---:|---:|---:|---:|---:|---:|---|\n";
+      let regressions = ref 0 and gated = ref 0 in
+      List.iter
+        (fun (id, (bw, bc), (cw, cc)) ->
+          let wall_cell = function
+            | Some w -> pretty_ns w
+            | None -> "–"
+          in
+          let wall_ratio =
+            match (bw, cw) with
+            | Some b, Some c -> Printf.sprintf "%.2fx" (ratio_of c b)
+            | _ -> "–"
+          in
+          let nodes_b = List.assoc_opt "re.enum_nodes" bc
+          and nodes_c = List.assoc_opt "re.enum_nodes" cc in
+          let nodes_cell = function
+            | Some n -> string_of_int n
+            | None -> "–"
+          in
+          let nodes_ratio, gate =
+            match (nodes_b, nodes_c) with
+            | Some b, Some c ->
+                incr gated;
+                let flag = breaches_gate ~base:b ~cur:c in
+                if flag then incr regressions;
+                ( Printf.sprintf "%.2fx" (ratio_of c b),
+                  if flag then "**REGRESSED**" else "ok" )
+            | _ -> ("–", "–")
+          in
+          p "| %s | %s | %s | %s | %s | %s | %s | %s |\n" id (wall_cell bw)
+            (wall_cell cw) wall_ratio (nodes_cell nodes_b)
+            (nodes_cell nodes_c) nodes_ratio gate)
+        shared;
+      let only l l' =
+        List.filter_map
+          (fun (id, _) ->
+            if List.mem_assoc id l' then None else Some id)
+          l
+      in
+      (match only base_exps cur_exps with
+      | [] -> ()
+      | ids -> p "\nOnly in baseline: %s\n" (String.concat ", " ids));
+      (match only cur_exps base_exps with
+      | [] -> ()
+      | ids -> p "\nOnly in current: %s\n" (String.concat ", " ids));
+      (* --- the other counters, where they moved notably --- *)
+      let notable =
+        List.concat_map
+          (fun (id, (_, bc), (_, cc)) ->
+            List.filter_map
+              (fun (k, b) ->
+                if k = "re.enum_nodes" then None
+                else
+                  match List.assoc_opt k cc with
+                  | Some c
+                    when b <> c
+                         && (breaches_gate ~base:b ~cur:c
+                            || breaches_gate ~base:c ~cur:b) ->
+                      Some (id, k, b, c)
+                  | _ -> None)
+              bc)
+          shared
+      in
+      p "\n## Notable counter changes\n\n";
+      if notable = [] then
+        p "No other per-experiment counter moved by more than %.0f%%.\n"
+          ((gate_ratio -. 1.) *. 100.)
+      else begin
+        p "| id | counter | base | cur | Δ |\n";
+        p "|---|---|---:|---:|---:|\n";
+        List.iter
+          (fun (id, k, b, c) ->
+            p "| %s | `%s` | %d | %d | %.2fx |\n" id k b c (ratio_of c b))
+          notable
+      end;
+      (* --- microbenchmarks (informational, not gated: timings are
+             machine-dependent) --- *)
+      let base_micro = benchmarks_of baseline
+      and cur_micro = benchmarks_of current in
+      let shared_micro =
+        List.filter_map
+          (fun (name, b) ->
+            Option.map (fun c -> (name, b, c)) (List.assoc_opt name cur_micro))
+          base_micro
+      in
+      if shared_micro <> [] then begin
+        p "\n## Microbenchmarks (informational)\n\n";
+        p "| benchmark | base ns/run | cur ns/run | Δ |\n";
+        p "|---|---:|---:|---:|\n";
+        List.iter
+          (fun (name, b, c) ->
+            p "| `%s` | %.0f | %.0f | %.2fx |\n" name b c
+              (c /. Float.max 1. b))
+          shared_micro
+      end;
+      (* --- verdict --- *)
+      p "\n## Verdict\n\n";
+      if !gated = 0 then begin
+        p "No shared experiment reports `re.enum_nodes` — nothing to gate. \
+           **FAIL**\n";
+        1
+      end
+      else if !regressions > 0 then begin
+        p "%d of %d gated experiment(s) regressed beyond %.2fx. **FAIL**\n"
+          !regressions !gated gate_ratio;
+        1
+      end
+      else begin
+        p "All %d gated experiment(s) within %.2fx of baseline. **PASS**\n"
+          !gated gate_ratio;
         0
       end
 
@@ -1152,6 +1346,10 @@ let () =
   | [ "compare"; baseline; current ] -> exit (compare_reports baseline current)
   | "compare" :: _ ->
       prerr_endline "bench: compare needs BASELINE and CURRENT file arguments";
+      exit 2
+  | [ "report"; baseline; current ] -> exit (report_markdown baseline current)
+  | "report" :: _ ->
+      prerr_endline "bench: report needs BASELINE and CURRENT file arguments";
       exit 2
   | positional ->
       let mode = match positional with [] -> "all" | m :: _ -> m in

@@ -9,14 +9,19 @@
      gen      — generate a support graph and report girth/independence
      sequence — iterate RE and machine-check the lower-bound sequence
      stats    — run a workload and print the telemetry counter summary
+     trace    — analyze a recorded trace (trace report FILE)
      export   — print a problem in the textual document format
      lint     — static analysis: verify the formalism invariants
      audit    — re-validate a lower-bound certificate end to end
 
-   The kernel-facing subcommands (re, lift, solve, gen, audit, stats)
-   accept [--trace FILE] to record a JSONL telemetry trace (schema
-   slocal.trace/1, see DESIGN.md) and [--metrics] to print the counter
-   summary to stderr on exit.
+   The kernel-facing subcommands (re, lift, solve, gen, audit, stats,
+   sequence) accept [--trace FILE] to record a JSONL telemetry trace
+   (schema slocal.trace/1, see DESIGN.md) and [--metrics] to print the
+   counter summary to stderr on exit.  [trace report FILE] reads such
+   a trace back and prints a profile (span tree self-times, hotspots,
+   critical path, provenance table), with [--json] (schema
+   slocal.profile/1) and [--folded] (flamegraph.pl / speedscope)
+   outputs.
 
    Problems are selected from the built-in families of the paper:
      matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
@@ -43,6 +48,8 @@ module Classic = Slocal_problems.Classic
 module Core = Supported_local
 module Diagnostic = Slocal_analysis.Diagnostic
 module Chk = Slocal_analysis.Check
+module Profile = Slocal_analysis.Profile
+module Json = Slocal_obs.Json
 
 let parse_problem spec =
   match String.split_on_char ':' spec with
@@ -130,7 +137,9 @@ let with_telemetry ~cmd trace metrics f =
       let finish () =
         if not !finished then begin
           finished := true;
+          Telemetry.sample_gc ();
           Telemetry.emit_counters ();
+          Telemetry.emit_histograms ();
           if metrics then Format.eprintf "%a@?" Telemetry.pp_summary ();
           Telemetry.set_sink Telemetry.null_sink;
           Option.iter close_out oc
@@ -324,8 +333,9 @@ let sequence_cmd =
   let steps =
     Arg.(value & opt int 2 & info [ "steps"; "k" ] ~doc:"Number of RE iterations.")
   in
-  let run spec steps kernel =
+  let run spec steps kernel trace metrics =
     Re_step.set_kernel kernel;
+    with_telemetry ~cmd:"sequence" trace metrics @@ fun () ->
     let p = parse_problem spec in
     let seq = Sequence.iterate_re p ~steps in
     List.iteri
@@ -352,7 +362,8 @@ let sequence_cmd =
   Cmd.v
     (Cmd.info "sequence"
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
-    Term.(const run $ problem_arg $ steps $ kernel_opt)
+    Term.(
+      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag)
 
 let stats_cmd =
   let graph_opt =
@@ -399,6 +410,34 @@ let stats_cmd =
           | Solver.No_solution -> "no"
           | Solver.Budget_exceeded -> "undecided (budget)")
           st.Solver.nodes);
+    (* Cache effectiveness of the fast kernel's two memo layers, with
+       hit rates (the raw counters also appear in the summary below),
+       then the GC gauges sampled at this moment. *)
+    let rate_line what hits misses =
+      let h = Telemetry.value (Telemetry.counter hits)
+      and m = Telemetry.value (Telemetry.counter misses) in
+      let rate =
+        if h + m = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100. *. float_of_int h /. float_of_int (h + m))
+      in
+      Format.printf "  %-12s %9d hits %9d misses  (hit rate %s)@." what h m rate
+    in
+    Format.printf "cache effectiveness:@.";
+    rate_line "RE result" "re.cache_hits" "re.cache_misses";
+    rate_line "constr memo" "constr.memo_hits" "constr.memo_misses";
+    Telemetry.sample_gc ();
+    Format.printf "gc:@.";
+    List.iter
+      (fun g ->
+        Format.printf "  %-24s %12d@." g
+          (Telemetry.value (Telemetry.gauge g)))
+      [
+        "gc.allocated_bytes";
+        "gc.minor_collections";
+        "gc.major_collections";
+        "gc.heap_words";
+        "gc.top_heap_words";
+      ];
     Format.printf "%a@?" Telemetry.pp_summary ()
   in
   Cmd.v
@@ -409,6 +448,90 @@ let stats_cmd =
     Term.(
       const run $ problem_arg $ graph_opt $ re_steps $ budget $ kernel_opt
       $ trace_opt $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Trace analysis: the read side of --trace. *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"A JSONL trace recorded with --trace (schema slocal.trace/1).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile as a slocal.profile/1 JSON document to $(docv) \
+             ($(b,-) for stdout).")
+  in
+  let folded_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded stacks (flamegraph.pl / speedscope collapsed \
+             format, weights in self-time nanoseconds) to $(docv) ($(b,-) \
+             for stdout).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Rows in the hotspot table.")
+  in
+  let write_output what file text =
+    match file with
+    | "-" -> print_string text
+    | file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "wrote %s %s@." what file
+  in
+  let run trace_file json_out folded_out top =
+    let profile = Profile.of_file trace_file in
+    (match profile.Profile.schema with
+    | Some s when s <> Telemetry.trace_schema_version ->
+        Format.eprintf "trace report: warning: unknown trace schema %S@." s
+    | Some _ -> ()
+    | None ->
+        Format.eprintf
+          "trace report: warning: no trace_start line (truncated or foreign \
+           file?)@.");
+    if profile.Profile.skipped_lines > 0 then
+      Format.eprintf "trace report: warning: skipped %d unparsable line(s)@."
+        profile.Profile.skipped_lines;
+    (match json_out with
+    | Some file ->
+        write_output "profile" file
+          (Json.to_string
+             (Profile.to_json ~source:(Filename.basename trace_file) profile)
+          ^ "\n")
+    | None -> ());
+    (match folded_out with
+    | Some file ->
+        write_output "folded stacks" file
+          (Profile.folded_to_string (Profile.folded profile))
+    | None -> ());
+    if json_out = None && folded_out = None then
+      Format.printf "%a@?" (Profile.pp ~top) profile
+  in
+  let report =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Profile a recorded trace: span-tree self times, hotspots, \
+            critical path, counter attribution, provenance table")
+      Term.(const run $ file_arg $ json_out $ folded_out $ top)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analyze recorded telemetry traces")
+    [ report ]
 
 let export_cmd =
   let run spec =
@@ -573,6 +696,7 @@ let () =
             gen_cmd;
             sequence_cmd;
             stats_cmd;
+            trace_cmd;
             export_cmd;
             lint_cmd;
             audit_cmd;

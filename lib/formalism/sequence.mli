@@ -9,7 +9,20 @@
     fast kernel caches results across invocations: building a sequence
     with {!iterate_re} and then verifying it with {!check} recomputes
     no RE step (the second pass hits the cache, counted in
-    [re.cache_hits]). *)
+    [re.cache_hits]).
+
+    {b Provenance.}  While a telemetry sink is installed,
+    {!iterate_re} emits one [provenance] event per problem of the
+    sequence (a machine-readable derivation log): step index, the
+    renaming-invariant {!Problem.canonical_hash}, label and
+    white/black configuration counts, the black diagram's reduced edge
+    count, the [re.cache_hits]/[re.cache_misses] deltas of that
+    iteration, and its wall time.  [slocal trace report] renders these
+    as a per-step table.  Both entry points also open spans
+    ([sequence.iterate_re]/[sequence.step],
+    [sequence.check]/[sequence.check_step]) and count iterations in
+    [sequence.steps]/[sequence.checks]; with the default null sink the
+    extra cost is a counter increment per step. *)
 
 type step = {
   index : int;

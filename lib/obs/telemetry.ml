@@ -49,7 +49,179 @@ let delta ~before ~after =
       if v <> 0 then Some (nm, v) else None)
     after
 
-let reset_metrics () = Hashtbl.iter (fun _ m -> m.m_value <- 0) registry
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module Histogram = struct
+  (* Log-bucketed (base 2): bucket 0 holds values <= 0, bucket i >= 1
+     holds [2^(i-1), 2^i - 1].  63 value buckets cover the positive
+     int range; exact count/sum/min/max ride along so means are exact
+     and quantile estimates clamp to the observed range. *)
+  let bucket_count = 64
+
+  type t = {
+    mutable h_count : int;
+    mutable h_sum : int;
+    mutable h_min : int;
+    mutable h_max : int;
+    h_buckets : int array;
+  }
+
+  let create () =
+    {
+      h_count = 0;
+      h_sum = 0;
+      h_min = max_int;
+      h_max = min_int;
+      h_buckets = Array.make bucket_count 0;
+    }
+
+  let bucket_of_value v =
+    if v <= 0 then 0
+    else begin
+      let bits = ref 0 and v = ref v in
+      while !v <> 0 do
+        Stdlib.incr bits;
+        v := !v lsr 1
+      done;
+      min (bucket_count - 1) !bits
+    end
+
+  let bucket_bounds i =
+    if i = 0 then (min_int, 0)
+    else if i >= bucket_count - 1 then (1 lsl (bucket_count - 2), max_int)
+    else (1 lsl (i - 1), (1 lsl i) - 1)
+
+  let record h v =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of_value v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let is_empty h = h.h_count = 0
+  let min_value h = if is_empty h then 0 else h.h_min
+  let max_value h = if is_empty h then 0 else h.h_max
+
+  let mean h =
+    if is_empty h then 0. else float_of_int h.h_sum /. float_of_int h.h_count
+
+  let reset h =
+    h.h_count <- 0;
+    h.h_sum <- 0;
+    h.h_min <- max_int;
+    h.h_max <- min_int;
+    Array.fill h.h_buckets 0 bucket_count 0
+
+  let copy h =
+    {
+      h_count = h.h_count;
+      h_sum = h.h_sum;
+      h_min = h.h_min;
+      h_max = h.h_max;
+      h_buckets = Array.copy h.h_buckets;
+    }
+
+  let merge a b =
+    let t = copy a in
+    t.h_count <- a.h_count + b.h_count;
+    t.h_sum <- a.h_sum + b.h_sum;
+    t.h_min <- min a.h_min b.h_min;
+    t.h_max <- max a.h_max b.h_max;
+    Array.iteri (fun i n -> t.h_buckets.(i) <- a.h_buckets.(i) + n) b.h_buckets;
+    t
+
+  let equal a b =
+    a.h_count = b.h_count && a.h_sum = b.h_sum
+    && (is_empty a || (a.h_min = b.h_min && a.h_max = b.h_max))
+    && a.h_buckets = b.h_buckets
+
+  let quantile h q =
+    if is_empty h then 0
+    else if q <= 0. then min_value h
+    else if q >= 1. then max_value h
+    else begin
+      let rank =
+        max 1 (min h.h_count (int_of_float (ceil (q *. float_of_int h.h_count))))
+      in
+      let cum = ref 0 and result = ref (max_value h) in
+      (try
+         for i = 0 to bucket_count - 1 do
+           cum := !cum + h.h_buckets.(i);
+           if !cum >= rank then begin
+             result := snd (bucket_bounds i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      max (min_value h) (min (max_value h) !result)
+    end
+
+  let nonempty_buckets h =
+    List.filter
+      (fun (_, n) -> n > 0)
+      (List.init bucket_count (fun i -> (i, h.h_buckets.(i))))
+
+  let of_buckets ~count ~sum ~min_value ~max_value buckets =
+    let h = create () in
+    h.h_count <- count;
+    h.h_sum <- sum;
+    if count > 0 then begin
+      h.h_min <- min_value;
+      h.h_max <- max_value
+    end;
+    List.iter
+      (fun (i, n) ->
+        if i < 0 || i >= bucket_count then
+          invalid_arg "Histogram.of_buckets: bucket index out of range";
+        h.h_buckets.(i) <- h.h_buckets.(i) + n)
+      buckets;
+    h
+end
+
+let hist_registry : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  match Hashtbl.find_opt hist_registry name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add hist_registry name h;
+      h
+
+let histogram_snapshot () =
+  Hashtbl.fold
+    (fun nm h acc -> if Histogram.is_empty h then acc else (nm, h) :: acc)
+    hist_registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_metrics () =
+  Hashtbl.iter (fun _ m -> m.m_value <- 0) registry;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) hist_registry
+
+(* ------------------------------------------------------------------ *)
+(* GC gauges.  Sampled only while a sink is installed (span
+   boundaries) or on explicit request, so the null-sink fast path
+   never calls [Gc.quick_stat]. *)
+
+let g_gc_minor = gauge "gc.minor_collections"
+let g_gc_major = gauge "gc.major_collections"
+let g_gc_compactions = gauge "gc.compactions"
+let g_gc_heap_words = gauge "gc.heap_words"
+let g_gc_top_heap_words = gauge "gc.top_heap_words"
+let g_gc_allocated_bytes = gauge "gc.allocated_bytes"
+
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  set g_gc_minor s.Gc.minor_collections;
+  set g_gc_major s.Gc.major_collections;
+  set g_gc_compactions s.Gc.compactions;
+  set g_gc_heap_words s.Gc.heap_words;
+  set g_gc_top_heap_words s.Gc.top_heap_words;
+  set g_gc_allocated_bytes (int_of_float (Gc.allocated_bytes ()))
 
 (* ------------------------------------------------------------------ *)
 (* Events and sinks *)
@@ -57,28 +229,52 @@ let reset_metrics () = Hashtbl.iter (fun _ m -> m.m_value <- 0) registry
 type event =
   | Trace_start of { t_ns : int64 }
   | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
-  | Span_close of { id : int; name : string; t_ns : int64; dur_ns : int64 }
+  | Span_close of {
+      id : int;
+      name : string;
+      t_ns : int64;
+      dur_ns : int64;
+      alloc_b : int;
+    }
   | Counters of { t_ns : int64; values : (string * int) list }
+  | Histograms of { t_ns : int64; values : (string * Histogram.t) list }
+  | Provenance of {
+      t_ns : int64;
+      step : int;
+      label : string;
+      values : (string * int) list;
+    }
   | Message of { t_ns : int64; text : string }
 
-type sink = Null | Emit of (event -> unit)
+type sink = Null | Emit of { emit : event -> unit; flush : unit -> unit }
 
 let null_sink = Null
-let collector_sink f = Emit f
+let collector_sink f = Emit { emit = f; flush = ignore }
 let current = ref Null
 let enabled () = match !current with Null -> false | Emit _ -> true
-let emit ev = match !current with Null -> () | Emit f -> f ev
+let emit ev = match !current with Null -> () | Emit e -> e.emit ev
 
 let set_sink s =
   current := s;
-  match s with Null -> () | Emit f -> f (Trace_start { t_ns = now_ns () })
+  match s with Null -> () | Emit e -> e.emit (Trace_start { t_ns = now_ns () })
+
+(* Safety net: if the process exits (node-budget abort, uncaught
+   exception, plain [exit]) while a sink is still installed, push any
+   buffered output through.  Registered at module load, so it runs
+   after every later [at_exit] (LIFO): a CLI wrapper that tears its
+   sink down first leaves this a no-op. *)
+let () =
+  at_exit (fun () ->
+      match !current with
+      | Null -> ()
+      | Emit e -> ( try e.flush () with _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
-(* (id, name, t0), innermost first.  Only touched when a sink is
-   installed, so the null-sink fast path never allocates. *)
-let span_stack : (int * string * int64) list ref = ref []
+(* (id, name, t0, alloc_bytes0), innermost first.  Only touched when a
+   sink is installed, so the null-sink fast path never allocates. *)
+let span_stack : (int * string * int64 * float) list ref = ref []
 let next_id = ref 0
 
 let span nm f =
@@ -87,18 +283,24 @@ let span nm f =
   | Emit _ ->
       let id = !next_id in
       next_id := id + 1;
+      sample_gc ();
+      let a0 = Gc.allocated_bytes () in
       let t0 = now_ns () in
       let parent =
-        match !span_stack with [] -> None | (pid, _, _) :: _ -> Some pid
+        match !span_stack with [] -> None | (pid, _, _, _) :: _ -> Some pid
       in
       emit (Span_open { id; parent; name = nm; t_ns = t0 });
-      span_stack := (id, nm, t0) :: !span_stack;
+      span_stack := (id, nm, t0, a0) :: !span_stack;
       let finish () =
         (match !span_stack with
-        | (id', _, _) :: rest when id' = id -> span_stack := rest
+        | (id', _, _, _) :: rest when id' = id -> span_stack := rest
         | _ -> ());
         let t1 = now_ns () in
-        emit (Span_close { id; name = nm; t_ns = t1; dur_ns = Int64.sub t1 t0 })
+        let dur_ns = Int64.sub t1 t0 in
+        let alloc_b = int_of_float (Gc.allocated_bytes () -. a0) in
+        sample_gc ();
+        Histogram.record (histogram ("span." ^ nm)) (Int64.to_int dur_ns);
+        emit (Span_close { id; name = nm; t_ns = t1; dur_ns; alloc_b })
       in
       Fun.protect ~finally:finish f
 
@@ -106,10 +308,66 @@ let emit_counters () =
   if enabled () then
     emit (Counters { t_ns = now_ns (); values = nonzero_snapshot () })
 
+let emit_histograms () =
+  if enabled () then begin
+    match histogram_snapshot () with
+    | [] -> ()
+    | values ->
+        let values = List.map (fun (nm, h) -> (nm, Histogram.copy h)) values in
+        emit (Histograms { t_ns = now_ns (); values })
+  end
+
+let provenance ~step ~label values =
+  if enabled () then emit (Provenance { t_ns = now_ns (); step; label; values })
+
 let message text = if enabled () then emit (Message { t_ns = now_ns (); text })
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
+
+let histogram_to_json h : Json.t =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.Int (Histogram.sum h));
+      ("min", Json.Int (Histogram.min_value h));
+      ("max", Json.Int (Histogram.max_value h));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (i, n) -> Json.List [ Json.Int i; Json.Int n ])
+             (Histogram.nonempty_buckets h)) );
+    ]
+
+let histogram_of_json j =
+  let int_field k =
+    match Option.bind (Json.member k j) Json.as_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram: missing int field %S" k)
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let* count = int_field "count" in
+  let* sum = int_field "sum" in
+  let* min_value = int_field "min" in
+  let* max_value = int_field "max" in
+  let* buckets =
+    match Option.bind (Json.member "buckets" j) Json.as_list with
+    | None -> Error "histogram: missing \"buckets\" list"
+    | Some l ->
+        List.fold_left
+          (fun acc b ->
+            let* acc = acc in
+            match Json.as_list b with
+            | Some [ i; n ] -> (
+                match (Json.as_int i, Json.as_int n) with
+                | Some i, Some n -> Ok ((i, n) :: acc)
+                | _ -> Error "histogram: non-integer bucket entry")
+            | _ -> Error "histogram: bucket entry is not a pair")
+          (Ok []) l
+  in
+  match Histogram.of_buckets ~count ~sum ~min_value ~max_value buckets with
+  | h -> Ok h
+  | exception Invalid_argument msg -> Error msg
 
 let event_to_json ev : Json.t =
   let t ns = ("t_ns", Json.Int (Int64.to_int ns)) in
@@ -131,7 +389,7 @@ let event_to_json ev : Json.t =
           ("name", Json.String name);
           t t_ns;
         ]
-  | Span_close { id; name; t_ns; dur_ns } ->
+  | Span_close { id; name; t_ns; dur_ns; alloc_b } ->
       Json.Obj
         [
           ("kind", Json.String "span_close");
@@ -139,6 +397,7 @@ let event_to_json ev : Json.t =
           ("name", Json.String name);
           t t_ns;
           ("dur_ns", Json.Int (Int64.to_int dur_ns));
+          ("alloc_b", Json.Int alloc_b);
         ]
   | Counters { t_ns; values } ->
       Json.Obj
@@ -148,16 +407,39 @@ let event_to_json ev : Json.t =
           ( "values",
             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
         ]
+  | Histograms { t_ns; values } ->
+      Json.Obj
+        [
+          ("kind", Json.String "histograms");
+          t t_ns;
+          ( "values",
+            Json.Obj (List.map (fun (k, h) -> (k, histogram_to_json h)) values)
+          );
+        ]
+  | Provenance { t_ns; step; label; values } ->
+      Json.Obj
+        [
+          ("kind", Json.String "provenance");
+          t t_ns;
+          ("step", Json.Int step);
+          ("label", Json.String label);
+          ( "values",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
+        ]
   | Message { t_ns; text } ->
       Json.Obj
         [ ("kind", Json.String "message"); t t_ns; ("text", Json.String text) ]
 
 let jsonl_sink oc =
   Emit
-    (fun ev ->
-      output_string oc (Json.to_string (event_to_json ev));
-      output_char oc '\n';
-      flush oc)
+    {
+      emit =
+        (fun ev ->
+          output_string oc (Json.to_string (event_to_json ev));
+          output_char oc '\n';
+          flush oc);
+      flush = (fun () -> flush oc);
+    }
 
 let pp_duration fmt ns =
   let f = Int64.to_float ns in
@@ -170,23 +452,42 @@ let stderr_sink () =
   let depth = ref 0 in
   let indent () = String.make (2 * !depth) ' ' in
   Emit
-    (fun ev ->
-      match ev with
-      | Trace_start _ -> Printf.eprintf "[obs] trace start\n%!"
-      | Span_open { name; _ } ->
-          Printf.eprintf "[obs] %s> %s\n%!" (indent ()) name;
-          depth := !depth + 1
-      | Span_close { name; dur_ns; _ } ->
-          depth := max 0 (!depth - 1);
-          Printf.eprintf "[obs] %s< %s %s\n%!" (indent ()) name
-            (Format.asprintf "%a" pp_duration dur_ns)
-      | Counters { values; _ } ->
-          Printf.eprintf "[obs] counters:\n";
-          List.iter
-            (fun (k, v) -> Printf.eprintf "[obs]   %-36s %12d\n" k v)
-            values;
-          Printf.eprintf "%!"
-      | Message { text; _ } -> Printf.eprintf "[obs] %s\n%!" text)
+    {
+      flush = (fun () -> Printf.eprintf "%!");
+      emit =
+        (fun ev ->
+          match ev with
+          | Trace_start _ -> Printf.eprintf "[obs] trace start\n%!"
+          | Span_open { name; _ } ->
+              Printf.eprintf "[obs] %s> %s\n%!" (indent ()) name;
+              depth := !depth + 1
+          | Span_close { name; dur_ns; alloc_b; _ } ->
+              depth := max 0 (!depth - 1);
+              Printf.eprintf "[obs] %s< %s %s (%dB)\n%!" (indent ()) name
+                (Format.asprintf "%a" pp_duration dur_ns)
+                alloc_b
+          | Counters { values; _ } ->
+              Printf.eprintf "[obs] counters:\n";
+              List.iter
+                (fun (k, v) -> Printf.eprintf "[obs]   %-36s %12d\n" k v)
+                values;
+              Printf.eprintf "%!"
+          | Histograms { values; _ } ->
+              Printf.eprintf "[obs] histograms:\n";
+              List.iter
+                (fun (k, h) ->
+                  Printf.eprintf "[obs]   %-36s n=%d mean=%.0f p90=%d max=%d\n"
+                    k (Histogram.count h) (Histogram.mean h)
+                    (Histogram.quantile h 0.9)
+                    (Histogram.max_value h))
+                values;
+              Printf.eprintf "%!"
+          | Provenance { step; label; values; _ } ->
+              Printf.eprintf "[obs] step %d %s:%s\n%!" step label
+                (String.concat ""
+                   (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) values))
+          | Message { text; _ } -> Printf.eprintf "[obs] %s\n%!" text);
+    }
 
 let pp_summary fmt () =
   let values = nonzero_snapshot () in
@@ -202,4 +503,18 @@ let pp_summary fmt () =
         in
         Format.fprintf fmt "  %-36s %12d%s@." k v suffix)
       values
-  end
+  end;
+  match histogram_snapshot () with
+  | [] -> ()
+  | hists ->
+      Format.fprintf fmt "telemetry histograms:@.";
+      Format.fprintf fmt "  %-36s %8s %10s %10s %10s %10s@." "" "count" "mean"
+        "p50" "p90" "max";
+      List.iter
+        (fun (k, h) ->
+          Format.fprintf fmt "  %-36s %8d %10.0f %10d %10d %10d@." k
+            (Histogram.count h) (Histogram.mean h)
+            (Histogram.quantile h 0.5)
+            (Histogram.quantile h 0.9)
+            (Histogram.max_value h))
+        hists

@@ -1,5 +1,5 @@
-(** Structured telemetry: monotonic-clock spans, named counters and
-    gauges, and pluggable sinks.
+(** Structured telemetry: monotonic-clock spans, named counters,
+    gauges and histograms, and pluggable sinks.
 
     The expensive kernels of this repository — the backtracking solver,
     the RE operator, the lift construction, the exhaustive zero-round
@@ -7,7 +7,9 @@
     (always-on, one integer store each) and {e spans} (emitted only
     when a sink is installed).  The default sink is {!null_sink}:
     spans reduce to a single branch and a direct call of the wrapped
-    thunk, so the instrumented hot paths pay nothing measurable.
+    thunk, so the instrumented hot paths pay nothing measurable —
+    histogram recording and GC sampling happen only inside the
+    sink-installed branch.
 
     Sinks receive a stream of {!event} values:
 
@@ -17,7 +19,7 @@
     - {!collector_sink} hands events to a callback (used by tests).
 
     The module is deliberately single-threaded (like the rest of the
-    repository): the span stack and the registry are plain mutable
+    repository): the span stack and the registries are plain mutable
     state. *)
 
 (** {1 Metrics} *)
@@ -56,7 +58,79 @@ val delta :
     absent from [before] count from 0. *)
 
 val reset_metrics : unit -> unit
-(** Zero every registered metric (tests and long-running harnesses). *)
+(** Zero every registered metric and histogram (tests and long-running
+    harnesses). *)
+
+(** {1 Histograms}
+
+    Log-bucketed (base 2) integer distributions: bucket [0] holds
+    values [<= 0] and bucket [i >= 1] holds the range
+    [[2^(i-1), 2^i - 1]], so 63 value buckets cover the positive [int]
+    range.  Exact count, sum, min and max ride along, making the mean
+    exact and clamping quantile estimates to the observed range. *)
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+  val is_empty : t -> bool
+
+  val min_value : t -> int
+  (** Smallest recorded value ([0] when empty). *)
+
+  val max_value : t -> int
+  val mean : t -> float
+
+  val quantile : t -> float -> int
+  (** [quantile h q] estimates the [q]-quantile: the upper bound of
+      the bucket containing the rank-[⌈q·count⌉] value, clamped to
+      [[min_value, max_value]].  Exact at [q <= 0] (min) and [q >= 1]
+      (max); monotone in [q]; [0] when empty. *)
+
+  val merge : t -> t -> t
+  (** Pointwise bucket sum (fresh histogram; arguments unchanged).
+      Associative and commutative up to {!equal}. *)
+
+  val equal : t -> t -> bool
+
+  val reset : t -> unit
+  val copy : t -> t
+
+  val bucket_of_value : int -> int
+  val bucket_bounds : int -> int * int
+  (** Inclusive [lo, hi] range of a bucket index. *)
+
+  val nonempty_buckets : t -> (int * int) list
+  (** [(bucket_index, count)] pairs, ascending, zero entries dropped. *)
+
+  val of_buckets :
+    count:int -> sum:int -> min_value:int -> max_value:int ->
+    (int * int) list -> t
+  (** Rebuild a histogram from its serialized parts (trace parsing).
+      @raise Invalid_argument on out-of-range bucket indices. *)
+end
+
+val histogram : string -> Histogram.t
+(** Intern a histogram in the global registry (same-name calls return
+    the same histogram).  Span durations are recorded automatically
+    into [span.<name>] histograms while a sink is installed. *)
+
+val histogram_snapshot : unit -> (string * Histogram.t) list
+(** All non-empty registered histograms, sorted by name.  The returned
+    histograms are the live registry values — {!Histogram.copy} before
+    mutating. *)
+
+(** {1 GC gauges} *)
+
+val sample_gc : unit -> unit
+(** Refresh the [gc.*] gauges ([minor_collections],
+    [major_collections], [compactions], [heap_words],
+    [top_heap_words], [allocated_bytes]) from [Gc.quick_stat].  Called
+    automatically at span boundaries while a sink is installed; call
+    it directly before reading a summary elsewhere. *)
 
 (** {1 Clock} *)
 
@@ -71,8 +145,26 @@ type event =
       (** Emitted automatically when a non-null sink is installed; the
           JSONL rendering carries the schema version. *)
   | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
-  | Span_close of { id : int; name : string; t_ns : int64; dur_ns : int64 }
+  | Span_close of {
+      id : int;
+      name : string;
+      t_ns : int64;
+      dur_ns : int64;
+      alloc_b : int;
+          (** Bytes allocated (minor + major) while the span was open,
+              from [Gc.allocated_bytes] deltas. *)
+    }
   | Counters of { t_ns : int64; values : (string * int) list }
+  | Histograms of { t_ns : int64; values : (string * Histogram.t) list }
+      (** Snapshot copies of the non-empty histograms. *)
+  | Provenance of {
+      t_ns : int64;
+      step : int;
+      label : string;
+      values : (string * int) list;
+    }
+      (** A derivation-log record: one per RE iteration of a
+          lower-bound sequence (see {!Slocal_formalism.Sequence}). *)
   | Message of { t_ns : int64; text : string }
 
 type sink
@@ -82,7 +174,10 @@ val stderr_sink : unit -> sink
 val jsonl_sink : out_channel -> sink
 (** One JSON object per line, flushed per event so a trace file is
     complete up to the last event even if the process exits early.
-    The caller owns (and closes) the channel. *)
+    The caller owns (and closes) the channel.  As a safety net, a
+    module-level [at_exit] hook flushes whatever sink is still
+    installed when the process exits (budget aborts, uncaught
+    exceptions), so traces are never truncated mid-line. *)
 
 val collector_sink : (event -> unit) -> sink
 
@@ -97,11 +192,21 @@ val enabled : unit -> bool
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()].  With a null sink this is just the
     call; otherwise a {!Span_open}/{!Span_close} pair brackets it
-    (closed on exceptions too), nested spans recording their parent. *)
+    (closed on exceptions too), nested spans recording their parent,
+    the duration is recorded into the [span.<name>] histogram, the
+    allocation delta is attached to the close event, and the [gc.*]
+    gauges are refreshed at both boundaries. *)
 
 val emit_counters : unit -> unit
 (** Send a {!Counters} event with the non-zero metrics to the sink
     (no-op when disabled). *)
+
+val emit_histograms : unit -> unit
+(** Send a {!Histograms} event with copies of the non-empty histograms
+    (no-op when disabled or when all histograms are empty). *)
+
+val provenance : step:int -> label:string -> (string * int) list -> unit
+(** Send a {!Provenance} event (no-op when disabled). *)
 
 val message : string -> unit
 (** Send a free-form {!Message} event (no-op when disabled). *)
@@ -114,9 +219,13 @@ val trace_schema_version : string
 val event_to_json : event -> Json.t
 (** The JSONL line for an event (see DESIGN.md for the schema). *)
 
+val histogram_to_json : Histogram.t -> Json.t
+val histogram_of_json : Json.t -> (Histogram.t, string) result
+
 val pp_duration : Format.formatter -> int64 -> unit
 (** Nanoseconds, human-scaled ([421ns], [1.23ms], [2.07s]). *)
 
 val pp_summary : Format.formatter -> unit -> unit
-(** A sorted table of the non-zero metrics (gauges marked), or a
-    placeholder line when nothing was recorded. *)
+(** A sorted table of the non-zero metrics (gauges marked) followed by
+    a quantile table of the non-empty histograms, or a placeholder
+    line when nothing was recorded. *)

@@ -149,6 +149,146 @@ let test_delta () =
   ignore z
 
 (* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module H = Telemetry.Histogram
+
+let hist_of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let test_histogram_buckets () =
+  check int_t "bucket of min_int" 0 (H.bucket_of_value min_int);
+  check int_t "bucket of -1" 0 (H.bucket_of_value (-1));
+  check int_t "bucket of 0" 0 (H.bucket_of_value 0);
+  check int_t "bucket of 1" 1 (H.bucket_of_value 1);
+  check int_t "bucket of 2" 2 (H.bucket_of_value 2);
+  check int_t "bucket of 3" 2 (H.bucket_of_value 3);
+  check int_t "bucket of 4" 3 (H.bucket_of_value 4);
+  (* max_int has [Sys.int_size - 1] significant bits (62 on 64-bit
+     platforms), capped at the last bucket. *)
+  check int_t "bucket of max_int"
+    (min 63 (Sys.int_size - 1))
+    (H.bucket_of_value max_int);
+  (* Power-of-two boundaries: 2^i opens bucket i+1; 2^i - 1 closes
+     bucket i. *)
+  for i = 1 to 61 do
+    let v = 1 lsl i in
+    check int_t (Printf.sprintf "bucket of 2^%d" i) (i + 1) (H.bucket_of_value v);
+    check int_t (Printf.sprintf "bucket of 2^%d - 1" i) i (H.bucket_of_value (v - 1))
+  done;
+  (* Every value lands inside its bucket's inclusive bounds. *)
+  List.iter
+    (fun v ->
+      let lo, hi = H.bucket_bounds (H.bucket_of_value v) in
+      check bool_t (Printf.sprintf "%d within bounds" v) true (lo <= v && v <= hi))
+    [ min_int; -7; 0; 1; 2; 3; 1000; 1 lsl 40; max_int ]
+
+let test_histogram_record () =
+  let h = hist_of_list [ 5; 1; 1000; 0; 7 ] in
+  check int_t "count" 5 (H.count h);
+  check int_t "sum" 1013 (H.sum h);
+  check int_t "min" 0 (H.min_value h);
+  check int_t "max" 1000 (H.max_value h);
+  check (Alcotest.float 1e-9) "mean exact" 202.6 (H.mean h);
+  check bool_t "not empty" false (H.is_empty h);
+  (* Quantiles: exact at the extremes, monotone in between, always
+     within the observed range. *)
+  check int_t "q=0 is min" 0 (H.quantile h 0.);
+  check int_t "q=1 is max" 1000 (H.quantile h 1.);
+  let qs = [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ] in
+  let vals = List.map (H.quantile h) qs in
+  check bool_t "quantiles monotone" true (vals = List.sort compare vals);
+  List.iter
+    (fun v ->
+      check bool_t "quantile clamped" true
+        (H.min_value h <= v && v <= H.max_value h))
+    vals;
+  (* Copy is independent; reset empties. *)
+  let c = H.copy h in
+  H.record h 9;
+  check int_t "copy unaffected" 5 (H.count c);
+  H.reset h;
+  check bool_t "reset empties" true (H.is_empty h);
+  check int_t "empty quantile is 0" 0 (H.quantile h 0.5)
+
+let test_histogram_merge () =
+  let a = hist_of_list [ 1; 2; 3 ] and b = hist_of_list [ 100; -5 ] in
+  let m = H.merge a b in
+  check int_t "merge count" 5 (H.count m);
+  check int_t "merge sum" 101 (H.sum m);
+  check int_t "merge min" (-5) (H.min_value m);
+  check int_t "merge max" 100 (H.max_value m);
+  check int_t "arguments unchanged" 3 (H.count a);
+  check bool_t "commutative" true (H.equal m (H.merge b a));
+  check bool_t "empty is identity" true (H.equal a (H.merge a (H.create ())));
+  (* Merge equals recording the concatenation. *)
+  check bool_t "merge = concat" true
+    (H.equal m (hist_of_list [ 1; 2; 3; 100; -5 ]))
+
+let test_histogram_json () =
+  List.iter
+    (fun vs ->
+      let h = hist_of_list vs in
+      match Telemetry.histogram_of_json (Telemetry.histogram_to_json h) with
+      | Ok h' -> check bool_t "histogram json round-trip" true (H.equal h h')
+      | Error e -> Alcotest.fail e)
+    [ []; [ 0 ]; [ -3; 17; 17; 4096; max_int ] ]
+
+let test_histogram_registry () =
+  with_clean_telemetry @@ fun () ->
+  let h = Telemetry.histogram "test.hist" in
+  let h' = Telemetry.histogram "test.hist" in
+  H.record h 12;
+  check int_t "interned: same histogram" 1 (H.count h');
+  check bool_t "snapshot has it" true
+    (List.mem_assoc "test.hist" (Telemetry.histogram_snapshot ()));
+  (* emit_histograms sends copies: later recording must not alter the
+     emitted snapshot. *)
+  let got = ref [] in
+  Telemetry.set_sink
+    (Telemetry.collector_sink (function
+      | Telemetry.Histograms { values; _ } -> got := values :: !got
+      | _ -> ()));
+  Telemetry.emit_histograms ();
+  Telemetry.set_sink Telemetry.null_sink;
+  H.record h 99;
+  (match !got with
+  | [ values ] ->
+      let e = List.assoc "test.hist" values in
+      check int_t "emitted copy frozen" 1 (H.count e)
+  | _ -> Alcotest.fail "expected exactly one histograms event");
+  Telemetry.reset_metrics ();
+  check bool_t "reset_metrics clears histograms" true (H.is_empty h)
+
+let test_span_histogram_and_gc () =
+  with_clean_telemetry @@ fun () ->
+  (* Null sink: spans record nothing. *)
+  ignore (Telemetry.span "quiet" (fun () -> 1));
+  check bool_t "no histogram under null sink" true
+    (Telemetry.histogram_snapshot () = []);
+  (* Collector sink: duration histogram, alloc delta, GC gauges. *)
+  let alloc = ref (-1) in
+  Telemetry.set_sink
+    (Telemetry.collector_sink (function
+      | Telemetry.Span_close { alloc_b; _ } -> alloc := alloc_b
+      | _ -> ()));
+  ignore (Telemetry.span "work" (fun () -> Array.make 4096 0));
+  Telemetry.set_sink Telemetry.null_sink;
+  check bool_t "span duration recorded" true
+    (H.count (Telemetry.histogram "span.work") = 1);
+  check bool_t "alloc_b non-negative" true (!alloc >= 0);
+  let v name =
+    Option.value ~default:(-1)
+      (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  check bool_t "gc.heap_words sampled" true (v "gc.heap_words" > 0);
+  check bool_t "gc.minor_collections sampled" true
+    (v "gc.minor_collections" >= 0);
+  check bool_t "gc.allocated_bytes sampled" true (v "gc.allocated_bytes" > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Null sink *)
 
 let test_null_sink () =
@@ -297,6 +437,18 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_counters;
           Alcotest.test_case "delta and reset" `Quick test_delta;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "record and quantiles" `Quick
+            test_histogram_record;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "json round-trip" `Quick test_histogram_json;
+          Alcotest.test_case "registry and emission" `Quick
+            test_histogram_registry;
+          Alcotest.test_case "span histograms and gc gauges" `Quick
+            test_span_histogram_and_gc;
         ] );
       ( "sinks",
         [

@@ -1,0 +1,339 @@
+(* Tests for the trace-analysis pipeline: event capture → span tree →
+   self/cumulative times, folded stacks, tolerant JSONL reading, the
+   sequence provenance events, and the slocal.profile/1 document.
+   Includes the histogram-merge associativity property (Proptest). *)
+
+module Json = Slocal_obs.Json
+module Telemetry = Slocal_obs.Telemetry
+module Trace = Slocal_obs.Trace
+module Profile = Slocal_analysis.Profile
+module H = Telemetry.Histogram
+module Classic = Slocal_problems.Classic
+open Slocal_formalism
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let with_clean_telemetry f =
+  Telemetry.reset_metrics ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_sink Telemetry.null_sink;
+      Telemetry.reset_metrics ())
+    f
+
+(* Record a scripted span workload through a collector sink and return
+   the events in emission order. *)
+let collect_workload () =
+  with_clean_telemetry @@ fun () ->
+  let events = ref [] in
+  Telemetry.set_sink (Telemetry.collector_sink (fun e -> events := e :: !events));
+  let c = Telemetry.counter "test.profile.work" in
+  Telemetry.span "root" (fun () ->
+      Telemetry.span "child_a" (fun () ->
+          Telemetry.add c 5;
+          Telemetry.emit_counters ();
+          Telemetry.span "leaf" (fun () -> Sys.opaque_identity (List.init 64 Fun.id)))
+      |> ignore;
+      Telemetry.span "child_b" (fun () -> ()));
+  Telemetry.add c 2;
+  Telemetry.emit_counters ();
+  Telemetry.set_sink Telemetry.null_sink;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Span tree reconstruction *)
+
+let test_tree_reconstruction () =
+  let t = Profile.of_events (collect_workload ()) in
+  check int_t "one root" 1 (List.length t.Profile.roots);
+  check int_t "four spans" 4 t.Profile.span_count;
+  check int_t "all closed" 0 t.Profile.unclosed;
+  let root = List.hd t.Profile.roots in
+  check string_t "root name" "root" root.Profile.name;
+  check int_t "root has two children" 2 (List.length root.Profile.children);
+  let names =
+    List.map (fun s -> s.Profile.name) root.Profile.children
+    |> List.sort compare
+  in
+  check (Alcotest.list string_t) "child names" [ "child_a"; "child_b" ] names;
+  (* Durations nest: each child fits inside its parent. *)
+  List.iter
+    (fun c ->
+      check bool_t "child within parent" true
+        (Int64.compare root.Profile.t0 c.Profile.t0 <= 0
+        && Int64.compare c.Profile.t1 root.Profile.t1 <= 0))
+    root.Profile.children
+
+let test_self_time_invariant () =
+  let t = Profile.of_events (collect_workload ()) in
+  (* On a well-formed trace the self times partition the wall time:
+     Σ self over every span = Σ cumulative over the roots. *)
+  check int_t "Σ self = root cumulative" (Profile.total_wall_ns t)
+    (Profile.total_self_ns t);
+  let rec each f s =
+    f s;
+    List.iter (each f) s.Profile.children
+  in
+  List.iter
+    (each (fun s ->
+         check bool_t "self >= 0" true (Profile.self_ns s >= 0);
+         check bool_t "self <= dur" true (Profile.self_ns s <= Profile.dur_ns s)))
+    t.Profile.roots;
+  (* Aggregates cover the same total. *)
+  let totals = Profile.totals t in
+  check int_t "totals partition self time" (Profile.total_self_ns t)
+    (List.fold_left (fun a g -> a + g.Profile.self_total_ns) 0 totals);
+  check int_t "calls counted" 4
+    (List.fold_left (fun a g -> a + g.Profile.calls) 0 totals)
+
+let test_counter_attribution () =
+  let t = Profile.of_events (collect_workload ()) in
+  (* First snapshot (value 5) lands while child_a is innermost-open;
+     the second (delta 2) after all spans closed. *)
+  let find name = List.assoc_opt name t.Profile.attribution in
+  (match find "child_a" with
+  | Some kvs ->
+      check (Alcotest.option int_t) "delta charged to child_a" (Some 5)
+        (List.assoc_opt "test.profile.work" kvs)
+  | None -> Alcotest.fail "no attribution for child_a");
+  (match find "(toplevel)" with
+  | Some kvs ->
+      check (Alcotest.option int_t) "tail delta charged to toplevel" (Some 2)
+        (List.assoc_opt "test.profile.work" kvs)
+  | None -> Alcotest.fail "no toplevel attribution");
+  check (Alcotest.option int_t) "final counters keep the raw value" (Some 7)
+    (List.assoc_opt "test.profile.work" t.Profile.final_counters)
+
+let test_critical_path () =
+  let t = Profile.of_events (collect_workload ()) in
+  let path = List.map (fun s -> s.Profile.name) (Profile.critical_path t) in
+  check bool_t "path starts at the root" true
+    (match path with "root" :: _ -> true | _ -> false);
+  check bool_t "path is a chain into the tree" true
+    (List.length path >= 2 && List.length path <= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks *)
+
+let test_folded_roundtrip () =
+  let t = Profile.of_events (collect_workload ()) in
+  let folded = Profile.folded t in
+  check bool_t "folded non-empty" true (folded <> []);
+  check bool_t "root path present" true (List.mem_assoc "root" folded);
+  check bool_t "nested path uses semicolons" true
+    (List.exists
+       (fun (p, _) -> String.length p > 4 && String.contains p ';')
+       folded);
+  (* Total folded weight = total self time (zero-self spans omitted). *)
+  check int_t "folded weights sum to self total" (Profile.total_self_ns t)
+    (List.fold_left (fun a (_, v) -> a + v) 0 folded);
+  let reparsed = Profile.parse_folded (Profile.folded_to_string folded) in
+  check bool_t "round-trip" true (reparsed = folded);
+  (* Parsing tolerates junk lines. *)
+  check bool_t "junk skipped" true
+    (Profile.parse_folded "nonsense\n\na;b 12\nbad line trailing\n"
+    = [ ("a;b", 12) ])
+
+(* ------------------------------------------------------------------ *)
+(* Tolerant trace reading *)
+
+let test_damaged_trace () =
+  let events = collect_workload () in
+  let file = Filename.temp_file "slocal_profile" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  let lines = List.map (fun e -> Json.to_string (Telemetry.event_to_json e)) events in
+  (* Interleave damage: garbage, a truncated JSON object, a blank line
+     and an unknown event kind; drop the last span_close so one span
+     stays open (a process killed mid-run). *)
+  let n = List.length lines in
+  let last_close =
+    let idx = ref (-1) in
+    List.iteri
+      (fun i e ->
+        match e with Telemetry.Span_close _ -> idx := i | _ -> ())
+      events;
+    !idx
+  in
+  List.iteri
+    (fun i line ->
+      if i = 2 then output_string oc "this is not json\n";
+      if i = 4 then
+        output_string oc (String.sub line 0 (String.length line / 2) ^ "\n");
+      if i = 5 then output_string oc "\n";
+      if i <> last_close then output_string oc (line ^ "\n"))
+    lines;
+  output_string oc "{\"kind\":\"from_the_future\",\"t_ns\":1}\n";
+  close_out oc;
+  let r = Trace.read_file file in
+  check int_t "three damaged lines skipped" 3 r.Trace.skipped;
+  check int_t "good events all read" (n - 1) (List.length r.Trace.events);
+  check (Alcotest.option string_t) "schema recovered"
+    (Some Telemetry.trace_schema_version) r.Trace.schema;
+  let t = Profile.of_read_result r in
+  check int_t "skip count propagated" 3 t.Profile.skipped_lines;
+  check int_t "one span synthesized closed" 1 t.Profile.unclosed;
+  check int_t "span tree still complete" 4 t.Profile.span_count;
+  (* The invariant holds with the synthesized close too. *)
+  check int_t "Σ self = root cumulative (damaged)" (Profile.total_wall_ns t)
+    (Profile.total_self_ns t)
+
+let test_event_json_roundtrip () =
+  let events = collect_workload () in
+  List.iter
+    (fun e ->
+      match Trace.event_of_json (Telemetry.event_to_json e) with
+      | Ok e' ->
+          check bool_t "event json round-trip" true
+            (Telemetry.event_to_json e = Telemetry.event_to_json e')
+      | Error msg -> Alcotest.fail msg)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Sequence provenance *)
+
+let test_sequence_provenance () =
+  with_clean_telemetry @@ fun () ->
+  let events = ref [] in
+  Telemetry.set_sink (Telemetry.collector_sink (fun e -> events := e :: !events));
+  let p = Classic.coloring ~delta:2 ~c:2 in
+  let steps = 2 in
+  let seq = Sequence.iterate_re p ~steps in
+  Telemetry.set_sink Telemetry.null_sink;
+  check int_t "sequence length" (steps + 1) (List.length seq);
+  let t = Profile.of_events (List.rev !events) in
+  let prov = t.Profile.provenance in
+  check int_t "one provenance record per problem" (steps + 1)
+    (List.length prov);
+  check (Alcotest.list int_t) "step indices in order"
+    [ 0; 1; 2 ]
+    (List.map (fun r -> r.Profile.step) prov);
+  let keys =
+    [
+      "hash"; "labels"; "white_configs"; "black_configs"; "diagram_edges";
+      "re_cache_hits"; "re_cache_misses"; "wall_ns";
+    ]
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun k ->
+          check bool_t
+            (Printf.sprintf "step %d has %s" r.Profile.step k)
+            true
+            (List.mem_assoc k r.Profile.values))
+        keys;
+      check bool_t "label non-empty" true (r.Profile.label <> ""))
+    prov;
+  (* 2-coloring is an RE fixed point: the problem shape is stable. *)
+  List.iter
+    (fun r ->
+      check (Alcotest.option int_t) "labels stable at 2" (Some 2)
+        (List.assoc_opt "labels" r.Profile.values))
+    prov
+
+(* ------------------------------------------------------------------ *)
+(* The profile document *)
+
+let test_profile_json () =
+  let t = Profile.of_events (collect_workload ()) in
+  let doc = Profile.to_json ~source:"test" t in
+  (* Well-formed JSON text. *)
+  (match Json.of_string (Json.to_string doc) with
+  | Ok reparsed ->
+      check bool_t "document round-trips" true (reparsed = doc)
+  | Error e -> Alcotest.fail e);
+  let str k =
+    Option.bind (Json.member k doc) Json.as_string
+  in
+  check (Alcotest.option string_t) "schema field"
+    (Some Profile.profile_schema_version) (str "schema");
+  check (Alcotest.option string_t) "source field" (Some "test") (str "source");
+  check (Alcotest.option int_t) "span count"
+    (Some 4)
+    (Option.bind (Json.member "spans" doc) Json.as_int);
+  check bool_t "tree present" true (Json.member "tree" doc <> None);
+  check bool_t "totals present" true (Json.member "totals" doc <> None);
+  check bool_t "folded present" true (Json.member "folded" doc <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Property: histogram merge is associative (and commutative) *)
+
+let hist_gen rng =
+  let n = Proptest.int_range 0 40 rng in
+  List.init n (fun _ ->
+      match Slocal_util.Prng.int rng 4 with
+      | 0 -> Proptest.int_range (-8) 8 rng
+      | 1 -> Proptest.int_range 0 1000 rng
+      | 2 -> 1 lsl Proptest.int_range 0 61 rng
+      | _ -> max_int - Proptest.int_range 0 3 rng)
+
+let hist_of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let test_merge_associative () =
+  let print (a, b, c) =
+    Printf.sprintf "a=%s b=%s c=%s"
+      (String.concat "," (List.map string_of_int a))
+      (String.concat "," (List.map string_of_int b))
+      (String.concat "," (List.map string_of_int c))
+  in
+  let shrink (a, b, c) =
+    let drop l = if l = [] then [] else [ List.tl l ] in
+    List.map (fun a' -> (a', b, c)) (drop a)
+    @ List.map (fun b' -> (a, b', c)) (drop b)
+    @ List.map (fun c' -> (a, b, c')) (drop c)
+  in
+  let seed = Proptest.seed_from_env ~default:2024 in
+  Proptest.run ~seed
+    (Proptest.property ~count:150 ~shrink ~name:"histogram merge associative"
+       ~gen:(fun rng -> (hist_gen rng, hist_gen rng, hist_gen rng))
+       ~print
+       (fun (a, b, c) ->
+         let ha = hist_of_list a and hb = hist_of_list b and hc = hist_of_list c in
+         H.equal
+           (H.merge (H.merge ha hb) hc)
+           (H.merge ha (H.merge hb hc))
+         && H.equal (H.merge ha hb) (H.merge hb ha)
+         && H.equal ha (hist_of_list a)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_tree_reconstruction;
+          Alcotest.test_case "self-time invariant" `Quick
+            test_self_time_invariant;
+          Alcotest.test_case "counter attribution" `Quick
+            test_counter_attribution;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+        ] );
+      ( "folded",
+        [ Alcotest.test_case "round-trip" `Quick test_folded_roundtrip ] );
+      ( "trace",
+        [
+          Alcotest.test_case "damaged input" `Quick test_damaged_trace;
+          Alcotest.test_case "event json round-trip" `Quick
+            test_event_json_roundtrip;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "provenance events" `Quick
+            test_sequence_provenance;
+        ] );
+      ( "document",
+        [ Alcotest.test_case "slocal.profile/1" `Quick test_profile_json ] );
+      ( "properties",
+        [
+          Alcotest.test_case "merge associativity" `Quick
+            test_merge_associative;
+        ] );
+    ]
