@@ -1320,6 +1320,120 @@ let report_markdown baseline_file current_file =
         0
       end
 
+(* [history FILE...]: aggregate a series of slocal.bench/1 reports
+   (given oldest first) into per-experiment trend tables — wall clock
+   and the gated [re.enum_nodes] — so the bench trajectory stops being
+   pairwise-only.  Regression detection is median-of-window: the
+   newest value of each experiment is gated (same 1.10x ratio as
+   [compare]) against the median of up to [history_window] previous
+   values, which tolerates a single noisy report in the middle of the
+   series.  Returns the exit code (0 ok, 1 regressed or unreadable). *)
+let history_window = 5
+
+let median_of = function
+  | [] -> None
+  | xs ->
+      let sorted = List.sort compare xs in
+      Some (List.nth sorted ((List.length sorted - 1) / 2))
+
+let history files =
+  let loaded =
+    List.map
+      (fun file ->
+        match load_report file with
+        | Ok json -> (file, json)
+        | Error msg ->
+            Printf.eprintf "history: %s: %s\n" file msg;
+            exit 1)
+      files
+  in
+  let pretty_ns ns =
+    let ns = float_of_int ns in
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  let p = Printf.printf in
+  (* Experiment ids in first-seen order across the series. *)
+  let ids =
+    List.fold_left
+      (fun acc (_, json) ->
+        List.fold_left
+          (fun acc (id, _) -> if List.mem id acc then acc else acc @ [ id ])
+          acc (experiments_of json))
+      [] loaded
+  in
+  p "# Bench history (%d report(s))\n" (List.length loaded);
+  p "\nGate: the newest `re.enum_nodes` of each experiment may not exceed \
+     the median of up to %d previous report(s) by more than %.0f%%.\n"
+    history_window
+    ((gate_ratio -. 1.) *. 100.);
+  let regressions = ref 0 in
+  List.iter
+    (fun id ->
+      let series =
+        List.map
+          (fun (file, json) ->
+            (file, List.assoc_opt id (experiments_of json)))
+          loaded
+      in
+      p "\n## %s\n\n" id;
+      p "| report | wall | re.enum_nodes |\n";
+      p "|---|---:|---:|\n";
+      List.iter
+        (fun (file, entry) ->
+          match entry with
+          | None -> p "| %s | – | – |\n" file
+          | Some (wall, counters) ->
+              p "| %s | %s | %s |\n" file
+                (match wall with Some w -> pretty_ns w | None -> "–")
+                (match List.assoc_opt "re.enum_nodes" counters with
+                | Some n -> string_of_int n
+                | None -> "–"))
+        series;
+      let enum_series =
+        List.filter_map
+          (fun (_, entry) ->
+            Option.bind entry (fun (_, counters) ->
+                List.assoc_opt "re.enum_nodes" counters))
+          series
+      in
+      match List.rev enum_series with
+      | [] -> p "\ntrend: no report carries `re.enum_nodes` for %s\n" id
+      | [ _ ] -> p "\ntrend: only one datapoint; nothing to gate\n"
+      | latest :: previous_rev -> (
+          let window =
+            List.filteri (fun i _ -> i < history_window) previous_rev
+          in
+          match median_of window with
+          | None -> ()
+          | Some median ->
+              let flag = breaches_gate ~base:median ~cur:latest in
+              if flag then incr regressions;
+              p
+                "\ntrend: latest %d vs median-of-previous %d (%.2fx) — %s\n"
+                latest median (ratio_of latest median)
+                (if flag then "**REGRESSED**" else "ok")))
+    ids;
+  p "\n## Verdict\n\n";
+  if ids = [] then begin
+    p "No experiments found in the series. **FAIL**\n";
+    1
+  end
+  else if !regressions > 0 then begin
+    p "%d experiment(s) regressed beyond %.2fx of their trailing median. \
+       **FAIL**\n"
+      !regressions gate_ratio;
+    1
+  end
+  else begin
+    p "All gated experiments within %.2fx of their trailing median. \
+       **PASS**\n"
+      gate_ratio;
+    0
+  end
+
 let () =
   let json_file = ref None and quick = ref false and positional = ref [] in
   let rec parse = function
@@ -1351,8 +1465,15 @@ let () =
   | "report" :: _ ->
       prerr_endline "bench: report needs BASELINE and CURRENT file arguments";
       exit 2
+  | "history" :: (_ :: _ as files) -> exit (history files)
+  | [ "history" ] ->
+      prerr_endline "bench: history needs at least one FILE argument";
+      exit 2
   | positional ->
       let mode = match positional with [] -> "all" | m :: _ -> m in
+      (* A bench run is a kernel-facing invocation like any other: one
+         slocal.run/1 ledger record per harness execution. *)
+      Slocal_obs.Ledger.begin_run ~argv:(Array.to_list Sys.argv);
       Format.printf "Supported LOCAL lower bounds — experiment harness@.";
       let selected =
         if !quick then
@@ -1369,5 +1490,7 @@ let () =
       | None -> ()
       | Some file ->
           write_json file
-            (report_to_json ~mode ~quick:!quick ~experiments ~benchmarks));
+            (report_to_json ~mode ~quick:!quick ~experiments ~benchmarks);
+          Slocal_obs.Ledger.note_artifact ~kind:"bench" file);
+      Slocal_obs.Ledger.finish_run ~outcome:"ok";
       Format.printf "@.done.@."

@@ -9,6 +9,7 @@
      gen      — generate a support graph and report girth/independence
      sequence — iterate RE and machine-check the lower-bound sequence
      stats    — run a workload and print the telemetry counter summary
+     runs     — list/show/diff/gc the slocal.run/1 ledger
      trace    — analyze a recorded trace (trace report FILE)
      export   — print a problem in the textual document format
      lint     — static analysis: verify the formalism invariants
@@ -17,11 +18,15 @@
    The kernel-facing subcommands (re, lift, solve, gen, audit, stats,
    sequence) accept [--trace FILE] to record a JSONL telemetry trace
    (schema slocal.trace/1, see DESIGN.md) and [--metrics] to print the
-   counter summary to stderr on exit.  [trace report FILE] reads such
-   a trace back and prints a profile (span tree self-times, hotspots,
-   critical path, provenance table), with [--json] (schema
-   slocal.profile/1) and [--folded] (flamegraph.pl / speedscope)
-   outputs.
+   counter summary to stderr on exit; each of them also appends one
+   slocal.run/1 manifest record to the run ledger (SLOCAL_LEDGER or
+   .slocal/runs.jsonl; "off" disables).  re/solve/sequence/audit/stats
+   additionally take [--openmetrics FILE] (Prometheus text exposition
+   on exit) and [--progress] (throttled stderr heartbeat; on by
+   default when stderr is a TTY).  [trace report FILE] reads a trace
+   back and prints a profile (span tree self-times, hotspots, critical
+   path, provenance table), with [--json] (schema slocal.profile/1)
+   and [--folded] (flamegraph.pl / speedscope) outputs.
 
    Problems are selected from the built-in families of the paper:
      matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
@@ -49,28 +54,37 @@ module Core = Supported_local
 module Diagnostic = Slocal_analysis.Diagnostic
 module Chk = Slocal_analysis.Check
 module Profile = Slocal_analysis.Profile
+module Source = Slocal_analysis.Source
 module Json = Slocal_obs.Json
+module Ledger = Slocal_obs.Ledger
+module Progress = Slocal_obs.Progress
+module Openmetrics = Slocal_obs.Openmetrics
 
 let parse_problem spec =
-  match String.split_on_char ':' spec with
-  | [ "matching"; d; x; y ] ->
-      MF.pi ~delta:(int_of_string d) ~x:(int_of_string x) ~y:(int_of_string y)
-  | [ "mm"; d ] -> MF.maximal_matching ~delta:(int_of_string d)
-  | [ "arb"; d; c ] -> CF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
-  | [ "ruling"; d; c; b ] ->
-      RF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
-        ~beta:(int_of_string b)
-  | [ "so"; d ] -> Classic.sinkless_orientation ~delta:(int_of_string d)
-  | [ "col"; d; c ] ->
-      Classic.coloring ~delta:(int_of_string d) ~c:(int_of_string c)
-  | "file" :: rest ->
-      let path = String.concat ":" rest in
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      Problem.of_string text
-  | _ -> invalid_arg (Printf.sprintf "unknown problem spec %S" spec)
+  let p =
+    match String.split_on_char ':' spec with
+    | [ "matching"; d; x; y ] ->
+        MF.pi ~delta:(int_of_string d) ~x:(int_of_string x) ~y:(int_of_string y)
+    | [ "mm"; d ] -> MF.maximal_matching ~delta:(int_of_string d)
+    | [ "arb"; d; c ] -> CF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
+    | [ "ruling"; d; c; b ] ->
+        RF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
+          ~beta:(int_of_string b)
+    | [ "so"; d ] -> Classic.sinkless_orientation ~delta:(int_of_string d)
+    | [ "col"; d; c ] ->
+        Classic.coloring ~delta:(int_of_string d) ~c:(int_of_string c)
+    | "file" :: rest ->
+        let path = String.concat ":" rest in
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        Problem.of_string text
+    | _ -> invalid_arg (Printf.sprintf "unknown problem spec %S" spec)
+  in
+  (* No-op unless a run context is open (kernel-facing subcommands). *)
+  Ledger.note_problem ~name:p.Problem.name ~hash:(Problem.canonical_hash p);
+  p
 
 let parse_graph spec =
   let bipartite_cycle k =
@@ -120,33 +134,80 @@ let metrics_flag =
     & info [ "metrics" ]
         ~doc:"Print the telemetry counter summary to stderr on exit.")
 
-(* Install the requested sinks around [f].  The teardown is registered
-   with [at_exit] as well, because lint/audit exit from inside their
-   run function ([Fun.protect] finalizers do not run across [exit]);
-   the [finished] guard keeps the two paths idempotent. *)
-let with_telemetry ~cmd trace metrics f =
-  match (trace, metrics) with
-  | None, false -> f ()
-  | _ ->
-      let oc = Option.map open_out trace in
-      (match oc with
-      | Some oc -> Telemetry.set_sink (Telemetry.jsonl_sink oc)
-      | None -> ());
-      Telemetry.message (Printf.sprintf "slocal %s" cmd);
-      let finished = ref false in
-      let finish () =
-        if not !finished then begin
-          finished := true;
-          Telemetry.sample_gc ();
-          Telemetry.emit_counters ();
-          Telemetry.emit_histograms ();
-          if metrics then Format.eprintf "%a@?" Telemetry.pp_summary ();
-          Telemetry.set_sink Telemetry.null_sink;
-          Option.iter close_out oc
-        end
-      in
-      at_exit finish;
-      Fun.protect ~finally:finish f
+let openmetrics_opt =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "openmetrics" ] ~docv:"FILE"
+        ~doc:
+          "On exit, write the telemetry registry in the Prometheus text \
+           exposition format to $(docv) (atomic temp-file + rename, so a \
+           textfile collector never reads a torn snapshot); $(b,-) or no \
+           value for stdout.")
+
+let progress_flag =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Emit throttled [progress] heartbeat lines to stderr even when \
+           stderr is not a TTY (on a TTY the heartbeat is on by default).")
+
+let kernel_name = function
+  | Re_step.Fast -> "fast"
+  | Re_step.Reference -> "reference"
+
+(* Observability wrapper around every kernel-facing subcommand: opens
+   the run-ledger context (one slocal.run/1 record per invocation,
+   regardless of flags), installs the requested trace sink, arms the
+   progress heartbeat and, on the way out, emits the final telemetry
+   snapshots, the OpenMetrics exposition and the ledger record.  The
+   teardown is registered with [at_exit] as well, because lint/audit
+   exit from inside their run function ([Fun.protect] finalizers do
+   not run across [exit]); the [finished] guard keeps the paths
+   idempotent. *)
+let with_telemetry ~cmd ?kernel ?(progress_mode = Progress.Auto) trace metrics
+    openmetrics f =
+  Ledger.begin_run ~argv:(Array.to_list Sys.argv);
+  Option.iter (fun k -> Ledger.note_kernel (kernel_name k)) kernel;
+  Option.iter (fun p -> Ledger.note_artifact ~kind:"trace" p) trace;
+  Progress.set_mode progress_mode;
+  let oc = Option.map open_out trace in
+  (match oc with
+  | Some oc -> Telemetry.set_sink (Telemetry.jsonl_sink oc)
+  | None -> ());
+  Telemetry.message (Printf.sprintf "slocal %s" cmd);
+  let finished = ref false in
+  let finish outcome =
+    if not !finished then begin
+      finished := true;
+      Telemetry.sample_gc ();
+      Telemetry.emit_counters ();
+      Telemetry.emit_histograms ();
+      if metrics then Format.eprintf "%a@?" Telemetry.pp_summary ();
+      (match openmetrics with
+      | None -> ()
+      | Some "-" -> print_string (Openmetrics.render ())
+      | Some file -> (
+          try
+            Openmetrics.write_file file;
+            Ledger.note_artifact ~kind:"openmetrics" file
+          with Sys_error msg ->
+            Format.eprintf "openmetrics: cannot write %s: %s@." file msg));
+      Ledger.finish_run ~outcome;
+      Progress.set_mode Progress.Off;
+      Telemetry.set_sink Telemetry.null_sink;
+      Option.iter close_out oc
+    end
+  in
+  at_exit (fun () -> finish "exit");
+  match f () with
+  | v ->
+      finish "ok";
+      v
+  | exception e ->
+      finish "error";
+      raise e
 
 let kernel_opt =
   let kernel_conv =
@@ -194,9 +255,12 @@ let re_cmd =
   let steps =
     Arg.(value & opt int 1 & info [ "steps"; "k" ] ~doc:"Number of RE steps.")
   in
-  let run spec steps kernel trace metrics =
+  let run spec steps kernel trace metrics openmetrics progress =
     Re_step.set_kernel kernel;
-    with_telemetry ~cmd:"re" trace metrics @@ fun () ->
+    with_telemetry ~cmd:"re" ~kernel
+      ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
     let p = ref (parse_problem spec) in
     print_string (Problem.to_string !p);
     for i = 1 to steps do
@@ -209,7 +273,9 @@ let re_cmd =
   in
   Cmd.v
     (Cmd.info "re" ~doc:"Apply round elimination steps")
-    Term.(const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag)
+    Term.(
+      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag
+      $ openmetrics_opt $ progress_flag)
 
 let lift_cmd =
   let delta =
@@ -219,7 +285,7 @@ let lift_cmd =
     Arg.(required & opt (some int) None & info [ "r" ] ~doc:"Support black degree r.")
   in
   let run spec delta r trace metrics =
-    with_telemetry ~cmd:"lift" trace metrics @@ fun () ->
+    with_telemetry ~cmd:"lift" trace metrics None @@ fun () ->
     let p = parse_problem spec in
     let l = Core.Lift.lift ~delta ~r p in
     print_string (Problem.to_string l.Core.Lift.problem);
@@ -245,8 +311,11 @@ let solve_cmd =
   let budget =
     Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
   in
-  let run spec gspec lift_flag budget trace metrics =
-    with_telemetry ~cmd:"solve" trace metrics @@ fun () ->
+  let run spec gspec lift_flag budget trace metrics openmetrics progress =
+    with_telemetry ~cmd:"solve"
+      ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
     let p = parse_problem spec in
     let g = parse_graph gspec in
     let problem =
@@ -279,7 +348,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Decide bipartite solvability on a concrete graph")
     Term.(
       const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget $ trace_opt
-      $ metrics_flag)
+      $ metrics_flag $ openmetrics_opt $ progress_flag)
 
 let bounds_cmd =
   let n = Arg.(value & opt float 1e9 & info [ "n" ] ~doc:"Number of nodes.") in
@@ -333,9 +402,12 @@ let sequence_cmd =
   let steps =
     Arg.(value & opt int 2 & info [ "steps"; "k" ] ~doc:"Number of RE iterations.")
   in
-  let run spec steps kernel trace metrics =
+  let run spec steps kernel trace metrics openmetrics progress =
     Re_step.set_kernel kernel;
-    with_telemetry ~cmd:"sequence" trace metrics @@ fun () ->
+    with_telemetry ~cmd:"sequence" ~kernel
+      ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
     let p = parse_problem spec in
     let seq = Sequence.iterate_re p ~steps in
     List.iteri
@@ -363,7 +435,8 @@ let sequence_cmd =
     (Cmd.info "sequence"
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
     Term.(
-      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag)
+      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag
+      $ openmetrics_opt $ progress_flag)
 
 let stats_cmd =
   let graph_opt =
@@ -383,71 +456,173 @@ let stats_cmd =
     Arg.(
       value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
   in
-  let run spec gspec re_steps budget kernel trace metrics =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a machine-readable snapshot (schema slocal.stats/1) to \
+             stdout instead of the human summary.")
+  in
+  let run spec gspec re_steps budget kernel trace metrics openmetrics json =
+    if json && openmetrics = Some "-" then begin
+      prerr_endline
+        "stats: --json and --openmetrics - both claim stdout; give \
+         --openmetrics a FILE";
+      exit 2
+    end;
     Re_step.set_kernel kernel;
-    with_telemetry ~cmd:"stats" trace metrics @@ fun () ->
+    (* Progress is stderr-only, but keep --json runs fully quiet. *)
+    with_telemetry ~cmd:"stats" ~kernel
+      ~progress_mode:(if json then Progress.Off else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
     let p = parse_problem spec in
     let q = ref p in
     for _ = 1 to re_steps do
       q := Re_step.re !q
     done;
-    Format.printf "after %d RE step(s): %d labels, %d white / %d black configurations@."
-      re_steps
-      (Alphabet.size !q.Problem.alphabet)
-      (Constr.size !q.Problem.white)
-      (Constr.size !q.Problem.black);
-    (match gspec with
-    | None -> ()
-    | Some gs ->
-        let g = parse_graph gs in
-        let l = Core.Zero_round.lift_of_support g p in
-        let outcome, st =
-          Solver.solve_stats ~max_nodes:budget g l.Core.Lift.problem
-        in
-        Format.printf "lift solvable on support: %s (%d nodes explored)@."
-          (match outcome with
-          | Solver.Solution _ -> "yes"
-          | Solver.No_solution -> "no"
-          | Solver.Budget_exceeded -> "undecided (budget)")
-          st.Solver.nodes);
-    (* Cache effectiveness of the fast kernel's two memo layers, with
-       hit rates (the raw counters also appear in the summary below),
-       then the GC gauges sampled at this moment. *)
-    let rate_line what hits misses =
-      let h = Telemetry.value (Telemetry.counter hits)
-      and m = Telemetry.value (Telemetry.counter misses) in
-      let rate =
-        if h + m = 0 then "-"
-        else Printf.sprintf "%.1f%%" (100. *. float_of_int h /. float_of_int (h + m))
-      in
-      Format.printf "  %-12s %9d hits %9d misses  (hit rate %s)@." what h m rate
+    if not json then
+      Format.printf
+        "after %d RE step(s): %d labels, %d white / %d black configurations@."
+        re_steps
+        (Alphabet.size !q.Problem.alphabet)
+        (Constr.size !q.Problem.white)
+        (Constr.size !q.Problem.black);
+    let lift_result =
+      match gspec with
+      | None -> None
+      | Some gs ->
+          let g = parse_graph gs in
+          let l = Core.Zero_round.lift_of_support g p in
+          let outcome, st =
+            Solver.solve_stats ~max_nodes:budget g l.Core.Lift.problem
+          in
+          let verdict =
+            match outcome with
+            | Solver.Solution _ -> "yes"
+            | Solver.No_solution -> "no"
+            | Solver.Budget_exceeded -> "undecided"
+          in
+          if not json then
+            Format.printf "lift solvable on support: %s (%d nodes explored)@."
+              (if verdict = "undecided" then "undecided (budget)" else verdict)
+              st.Solver.nodes;
+          Some (verdict, st.Solver.nodes)
     in
-    Format.printf "cache effectiveness:@.";
-    rate_line "RE result" "re.cache_hits" "re.cache_misses";
-    rate_line "constr memo" "constr.memo_hits" "constr.memo_misses";
+    let cache_pair hits misses =
+      ( Telemetry.value (Telemetry.counter hits),
+        Telemetry.value (Telemetry.counter misses) )
+    in
+    let re_cache = cache_pair "re.cache_hits" "re.cache_misses" in
+    let constr_cache = cache_pair "constr.memo_hits" "constr.memo_misses" in
     Telemetry.sample_gc ();
-    Format.printf "gc:@.";
-    List.iter
-      (fun g ->
-        Format.printf "  %-24s %12d@." g
-          (Telemetry.value (Telemetry.gauge g)))
-      [
-        "gc.allocated_bytes";
-        "gc.minor_collections";
-        "gc.major_collections";
-        "gc.heap_words";
-        "gc.top_heap_words";
-      ];
-    Format.printf "%a@?" Telemetry.pp_summary ()
+    if json then begin
+      let ints kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+      let cache (h, m) = ints [ ("hits", h); ("misses", m) ] in
+      let counters, gauges =
+        List.fold_left
+          (fun (cs, gs) (nm, kd, v) ->
+            if v = 0 then (cs, gs)
+            else
+              match kd with
+              | Telemetry.Counter -> ((nm, v) :: cs, gs)
+              | Telemetry.Gauge -> (cs, (nm, v) :: gs))
+          ([], []) (Telemetry.kinds_snapshot ())
+      in
+      let histograms =
+        List.map
+          (fun (nm, h) ->
+            ( nm,
+              ints
+                [
+                  ("count", Telemetry.Histogram.count h);
+                  ("sum", Telemetry.Histogram.sum h);
+                  ("min", Telemetry.Histogram.min_value h);
+                  ("max", Telemetry.Histogram.max_value h);
+                  ("p50", Telemetry.Histogram.quantile h 0.5);
+                  ("p90", Telemetry.Histogram.quantile h 0.9);
+                  ("p99", Telemetry.Histogram.quantile h 0.99);
+                ] ))
+          (Telemetry.histogram_snapshot ())
+      in
+      let doc =
+        Json.Obj
+          ([
+             ("schema", Json.String "slocal.stats/1");
+             ("kernel", Json.String (kernel_name kernel));
+             ( "workload",
+               Json.Obj
+                 ([
+                    ("problem", Json.String p.Problem.name);
+                    ("re_steps", Json.Int re_steps);
+                    ("labels", Json.Int (Alphabet.size !q.Problem.alphabet));
+                    ( "white_configs",
+                      Json.Int (Constr.size !q.Problem.white) );
+                    ( "black_configs",
+                      Json.Int (Constr.size !q.Problem.black) );
+                  ]
+                 @
+                 match lift_result with
+                 | None -> []
+                 | Some (verdict, nodes) ->
+                     [
+                       ("lift_solvable", Json.String verdict);
+                       ("solver_nodes", Json.Int nodes);
+                     ]) );
+             ( "cache",
+               Json.Obj
+                 [ ("re", cache re_cache); ("constr", cache constr_cache) ] );
+             ("counters", ints (List.rev counters));
+             ("gauges", ints (List.rev gauges));
+             ("histograms", Json.Obj histograms);
+           ])
+      in
+      print_string (Json.to_string doc);
+      print_newline ()
+    end
+    else begin
+      (* Cache effectiveness of the fast kernel's two memo layers, with
+         hit rates (the raw counters also appear in the summary below),
+         then the GC gauges sampled at this moment. *)
+      let rate_line what (h, m) =
+        let rate =
+          if h + m = 0 then "-"
+          else
+            Printf.sprintf "%.1f%%"
+              (100. *. float_of_int h /. float_of_int (h + m))
+        in
+        Format.printf "  %-12s %9d hits %9d misses  (hit rate %s)@." what h m
+          rate
+      in
+      Format.printf "cache effectiveness:@.";
+      rate_line "RE result" re_cache;
+      rate_line "constr memo" constr_cache;
+      Format.printf "gc:@.";
+      List.iter
+        (fun g ->
+          Format.printf "  %-24s %12d@." g
+            (Telemetry.value (Telemetry.gauge g)))
+        [
+          "gc.allocated_bytes";
+          "gc.minor_collections";
+          "gc.major_collections";
+          "gc.heap_words";
+          "gc.top_heap_words";
+        ];
+      Format.printf "%a@?" Telemetry.pp_summary ()
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a representative workload (RE steps, and optionally \
-          lift-and-solve on a graph) and print the telemetry counter summary")
+          lift-and-solve on a graph) and print the telemetry counter summary \
+          (--json for slocal.stats/1, --openmetrics for the Prometheus text \
+          exposition)")
     Term.(
       const run $ problem_arg $ graph_opt $ re_steps $ budget $ kernel_opt
-      $ trace_opt $ metrics_flag)
+      $ trace_opt $ metrics_flag $ openmetrics_opt $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* Trace analysis: the read side of --trace. *)
@@ -495,6 +670,21 @@ let trace_cmd =
   in
   let run trace_file json_out folded_out top =
     let profile = Profile.of_file trace_file in
+    (* An empty or fully-damaged trace means there is nothing to
+       profile: a loud SL040 diagnostic and exit 1 instead of a
+       silently empty report. *)
+    if profile.Profile.event_count = 0 then begin
+      Format.eprintf "%a@?"
+        (Diagnostic.pp_report ~machine:false)
+        [
+          Diagnostic.error ~code:"SL040" ~subject:trace_file
+            (Printf.sprintf
+               "trace contains no parseable events (%d damaged line(s) \
+                skipped)"
+               profile.Profile.skipped_lines);
+        ];
+      exit 1
+    end;
     (match profile.Profile.schema with
     | Some s when s <> Telemetry.trace_schema_version ->
         Format.eprintf "trace report: warning: unknown trace schema %S@." s
@@ -562,7 +752,9 @@ let r_opt =
 
 let report_and_exit ~machine diags =
   Format.printf "%a@?" (Diagnostic.pp_report ~machine) diags;
-  exit (Diagnostic.exit_code diags)
+  let code = Diagnostic.exit_code diags in
+  Ledger.note_exit code;
+  exit code
 
 let lint_cmd =
   let specs =
@@ -582,13 +774,36 @@ let lint_cmd =
              ~doc:"Also check the grounding invariants of this many RE steps \
                    (0 disables).")
   in
-  let run specs delta r machine codes re_steps =
+  let telemetry_flag =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Check that every telemetry metric name registered in the \
+                   library sources appears in the DESIGN.md §6 name table \
+                   (SL041).")
+  in
+  let design_opt =
+    Arg.(value & opt string "DESIGN.md"
+         & info [ "design" ] ~docv:"FILE"
+             ~doc:"Design document holding the metric name table (with \
+                   --telemetry).")
+  in
+  let src_opt =
+    Arg.(value & opt_all string [ "lib" ]
+         & info [ "src" ] ~docv:"DIR"
+             ~doc:"Source directory to scan for metric registrations \
+                   (repeatable, with --telemetry).")
+  in
+  let run specs delta r machine codes re_steps telemetry design src_dirs =
     if codes then Format.printf "%a@?" Chk.pp_code_table ()
     else begin
-      if specs = [] then begin
+      if specs = [] && not telemetry then begin
         prerr_endline "lint: no problems given (try --codes for the code table)";
         exit 2
       end;
+      let telemetry_diags =
+        if telemetry then Source.lint_telemetry_files ~design ~src_dirs
+        else []
+      in
       let diags =
         List.concat_map
           (fun spec ->
@@ -609,15 +824,15 @@ let lint_cmd =
                           ("unparsable problem: " ^ msg) ]))
           specs
       in
-      report_and_exit ~machine diags
+      report_and_exit ~machine (telemetry_diags @ diags)
     end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify formalism invariants (diagrams, lifts, \
-             condensed syntax)")
+             condensed syntax, telemetry name inventory)")
     Term.(const run $ specs $ delta_opt $ r_opt $ machine_flag $ codes_flag
-          $ re_steps)
+          $ re_steps $ telemetry_flag $ design_opt $ src_opt)
 
 let audit_cmd =
   let k =
@@ -634,8 +849,12 @@ let audit_cmd =
              ~doc:"Search-node budget for the independent unsolvability \
                    re-search (0 disables).")
   in
-  let run spec gspec k budget recheck_budget machine trace metrics =
-    with_telemetry ~cmd:"audit" trace metrics @@ fun () ->
+  let run spec gspec k budget recheck_budget machine trace metrics openmetrics
+      progress =
+    with_telemetry ~cmd:"audit"
+      ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
     let last_problem, support =
       match (parse_problem spec, parse_graph gspec) with
       | p, g -> (p, g)
@@ -653,14 +872,16 @@ let audit_cmd =
        ~doc:"Run the Theorem 3.4 pipeline and re-validate the resulting \
              certificate")
     Term.(const run $ problem_arg $ graph_arg 1 $ k $ budget $ recheck_budget
-          $ machine_flag $ trace_opt $ metrics_flag)
+          $ machine_flag $ trace_opt $ metrics_flag $ openmetrics_opt
+          $ progress_flag)
 
 let gen_cmd =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Target node count.") in
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let run n d seed trace metrics =
-    with_telemetry ~cmd:"gen" trace metrics @@ fun () ->
+    with_telemetry ~cmd:"gen" trace metrics None @@ fun () ->
+    Ledger.note_seed seed;
     Telemetry.message (Printf.sprintf "gen seed=%d n=%d d=%d" seed n d);
     let rng = Slocal_util.Prng.create seed in
     let c = Gen.high_girth_low_independence rng ~n ~d () in
@@ -679,6 +900,220 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a Lemma 2.1-style support graph")
     Term.(const run $ n $ d $ seed $ trace_opt $ metrics_flag)
 
+(* ------------------------------------------------------------------ *)
+(* Run-ledger maintenance: the read side of the slocal.run/1 records
+   that every kernel-facing invocation appends. *)
+
+let runs_cmd =
+  let ledger_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Ledger file to operate on (default: $(b,SLOCAL_LEDGER) or \
+             .slocal/runs.jsonl).")
+  in
+  let resolve ledger =
+    match ledger with
+    | Some p -> p
+    | None -> (
+        match Ledger.default_path () with
+        | Some p -> p
+        | None ->
+            prerr_endline
+              "runs: the ledger is disabled (SLOCAL_LEDGER=off); pass --ledger \
+               FILE";
+            exit 2)
+  in
+  let load ledger =
+    let path = resolve ledger in
+    if not (Sys.file_exists path) then (path, { Ledger.records = []; skipped = 0 })
+    else
+      match Ledger.read_file path with
+      | r -> (path, r)
+      | exception Sys_error msg ->
+          Printf.eprintf "runs: cannot read %s: %s\n" path msg;
+          exit 2
+  in
+  let warn_skipped path (r : Ledger.read_result) =
+    if r.Ledger.skipped > 0 then
+      Format.eprintf "runs: %s: skipped %d damaged line(s)@." path
+        r.Ledger.skipped
+  in
+  let iso t =
+    let tm = Unix.gmtime t in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let argv_line (r : Ledger.record) = String.concat " " r.Ledger.argv in
+  let truncate n s = if String.length s <= n then s else String.sub s 0 (n - 1) ^ "…" in
+  let find_or_exit read key =
+    match Ledger.find read key with
+    | Ok r -> r
+    | Error msg ->
+        Printf.eprintf "runs: %s\n" msg;
+        exit 2
+  in
+  let list_cmd =
+    let run ledger =
+      let path, read = load ledger in
+      warn_skipped path read;
+      match read.Ledger.records with
+      | [] -> Format.printf "no runs recorded in %s@." path
+      | records ->
+          Format.printf "%-4s %-13s %-20s %9s %8s %-5s %s@." "#" "id" "started"
+            "wall" "outcome" "exit" "argv";
+          List.iteri
+            (fun i (r : Ledger.record) ->
+              Format.printf "%-4d %-13s %-20s %8.2fs %8s %-5d %s@." (i + 1)
+                r.Ledger.id (iso r.Ledger.started_at) (Ledger.wall_seconds r)
+                r.Ledger.outcome r.Ledger.exit_code
+                (truncate 48 (argv_line r)))
+            records
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the recorded runs, oldest first")
+      Term.(const run $ ledger_opt)
+  in
+  let show_cmd =
+    let id_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"RUN" ~doc:"Run designator: 1-based index or id prefix.")
+    in
+    let run ledger key =
+      let path, read = load ledger in
+      warn_skipped path read;
+      let r = find_or_exit read key in
+      Format.printf "run %s@." r.Ledger.id;
+      Format.printf "  argv:     %s@." (argv_line r);
+      Format.printf "  started:  %s@." (iso r.Ledger.started_at);
+      Format.printf "  finished: %s (wall %.2fs)@." (iso r.Ledger.finished_at)
+        (Ledger.wall_seconds r);
+      Format.printf "  outcome:  %s (exit %d)@." r.Ledger.outcome
+        r.Ledger.exit_code;
+      Option.iter (Format.printf "  kernel:   %s@.") r.Ledger.kernel;
+      Option.iter (Format.printf "  seed:     %d@.") r.Ledger.seed;
+      if r.Ledger.problems <> [] then begin
+        Format.printf "  problems:@.";
+        List.iter
+          (fun (nm, h) -> Format.printf "    %-24s hash %d@." nm h)
+          r.Ledger.problems
+      end;
+      if r.Ledger.artifacts <> [] then begin
+        Format.printf "  artifacts:@.";
+        List.iter
+          (fun (k, p) -> Format.printf "    %-12s %s@." k p)
+          r.Ledger.artifacts
+      end;
+      if r.Ledger.counters <> [] then begin
+        Format.printf "  counters:@.";
+        List.iter
+          (fun (nm, v) -> Format.printf "    %-36s %12d@." nm v)
+          r.Ledger.counters
+      end;
+      if r.Ledger.gauges <> [] then begin
+        Format.printf "  gauges:@.";
+        List.iter
+          (fun (nm, v) -> Format.printf "    %-36s %12d@." nm v)
+          r.Ledger.gauges
+      end;
+      if r.Ledger.histograms <> [] then begin
+        Format.printf "  histograms:@.";
+        Format.printf "    %-36s %8s %10s %10s %10s %10s@." "" "count" "p50"
+          "p90" "p99" "max";
+        List.iter
+          (fun (nm, hs) ->
+            Format.printf "    %-36s %8d %10d %10d %10d %10d@." nm
+              hs.Ledger.hs_count hs.Ledger.hs_p50 hs.Ledger.hs_p90
+              hs.Ledger.hs_p99 hs.Ledger.hs_max)
+          r.Ledger.histograms
+      end
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Render one recorded run in full")
+      Term.(const run $ ledger_opt $ id_arg)
+  in
+  let diff_cmd =
+    let id_a =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"A" ~doc:"Baseline run (index or id prefix).")
+    in
+    let id_b =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"B" ~doc:"Comparison run (index or id prefix).")
+    in
+    let run ledger key_a key_b =
+      let path, read = load ledger in
+      warn_skipped path read;
+      let a = find_or_exit read key_a and b = find_or_exit read key_b in
+      Format.printf "A: %s  %s@." a.Ledger.id (truncate 60 (argv_line a));
+      Format.printf "B: %s  %s@." b.Ledger.id (truncate 60 (argv_line b));
+      Format.printf "wall: %.2fs -> %.2fs@." (Ledger.wall_seconds a)
+        (Ledger.wall_seconds b);
+      (match (a.Ledger.kernel, b.Ledger.kernel) with
+      | Some ka, Some kb when ka <> kb ->
+          Format.printf "kernel: %s -> %s@." ka kb
+      | _ -> ());
+      if
+        a.Ledger.problems <> [] && b.Ledger.problems <> []
+        && a.Ledger.problems <> b.Ledger.problems
+      then
+        Format.printf
+          "note: the runs hashed different problems (see runs show)@.";
+      match Ledger.diff a b with
+      | [] -> Format.printf "counters: identical@."
+      | deltas ->
+          Format.printf "%-36s %12s %12s %12s@." "counter" "A" "B" "delta";
+          List.iter
+            (fun (nm, va, vb) ->
+              Format.printf "%-36s %12d %12d %+12d@." nm va vb (vb - va))
+            deltas
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two recorded runs (wall time and counter deltas)")
+      Term.(const run $ ledger_opt $ id_a $ id_b)
+  in
+  let gc_cmd =
+    let keep =
+      Arg.(
+        value & opt int 200
+        & info [ "keep" ] ~docv:"N" ~doc:"Newest records to keep.")
+    in
+    let run ledger keep =
+      let path = resolve ledger in
+      if not (Sys.file_exists path) then
+        Format.printf "no ledger at %s; nothing to do@." path
+      else
+        match Ledger.gc ~path ~keep with
+        | Ok (kept, dropped) ->
+            Format.printf "kept %d record(s), dropped %d (records beyond \
+                           --keep %d and damaged lines)@."
+              kept dropped keep
+        | Error msg ->
+            Printf.eprintf "runs gc: %s\n" msg;
+            exit 2
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Compact the ledger: keep the newest N records, drop damaged \
+               lines (atomic rewrite)")
+      Term.(const run $ ledger_opt $ keep)
+  in
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"Inspect the slocal.run/1 ledger appended by kernel-facing \
+             subcommands")
+    [ list_cmd; show_cmd; diff_cmd; gc_cmd ]
+
 let () =
   let info =
     Cmd.info "slocal" ~version:"1.0.0"
@@ -696,6 +1131,7 @@ let () =
             gen_cmd;
             sequence_cmd;
             stats_cmd;
+            runs_cmd;
             trace_cmd;
             export_cmd;
             lint_cmd;

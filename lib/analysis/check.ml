@@ -33,6 +33,8 @@ let code_table =
     { code = "SL035"; severity = D.Error; title = "recorded support statistics differ from the support" };
     { code = "SL036"; severity = D.Error; title = "unsolvability certificate refuted by re-search" };
     { code = "SL037"; severity = D.Info; title = "unsolvability re-search undecided within audit budget" };
+    { code = "SL040"; severity = D.Error; title = "trace file empty or fully damaged" };
+    { code = "SL041"; severity = D.Warning; title = "telemetry metric name not documented in DESIGN.md" };
   ]
 
 let find_entry code = List.find_opt (fun e -> e.code = code) code_table

@@ -1,4 +1,5 @@
 module Telemetry = Slocal_obs.Telemetry
+module Progress = Slocal_obs.Progress
 
 type step = {
   index : int;
@@ -58,8 +59,12 @@ let is_lower_bound_sequence ?max_nodes problems =
 let iterate_re p ~steps =
   Telemetry.span "sequence.iterate_re" @@ fun () ->
   emit_provenance ~index:0 ~wall_ns:0 ~cache_hits:0 ~cache_misses:0 p;
+  Progress.start ~total:steps "sequence.iterate_re";
   let rec go p i =
-    if i = 0 then [ p ]
+    if i = 0 then begin
+      Progress.finish ();
+      [ p ]
+    end
     else begin
       Telemetry.incr c_steps;
       let h0 = Telemetry.value c_re_hits
@@ -73,6 +78,22 @@ let iterate_re p ~steps =
         ~cache_hits:(Telemetry.value c_re_hits - h0)
         ~cache_misses:(Telemetry.value c_re_misses - m0)
         q;
+      if Progress.is_active () then begin
+        let hits = Telemetry.value c_re_hits
+        and misses = Telemetry.value c_re_misses in
+        let total = hits + misses in
+        let hit_rate =
+          if total = 0 then 0.
+          else 100. *. float_of_int hits /. float_of_int total
+        in
+        Progress.tick
+          ~step:(steps - i + 1)
+          ~info:
+            (Printf.sprintf "labels=%d re.cache %.0f%%"
+               (Alphabet.size q.Problem.alphabet)
+               hit_rate)
+          ()
+      end;
       p :: go q (i - 1)
     end
   in

@@ -80,6 +80,11 @@ let search_raw ~max_nodes ~forward_checking ~nodes ~backtracks ~prunes
   let rec assign i =
     incr nodes;
     if !nodes > max_nodes then raise Budget;
+    (* Live heartbeat for interactive long solves: one cheap masked
+       test per node, everything else behind [Progress]'s own
+       activity/throttle checks. *)
+    if !nodes land 0x3FFF = 0 then
+      Slocal_obs.Progress.solver_tick ~nodes:!nodes;
     if i = m then on_solution labeling
     else begin
       let e = order.(i) in

@@ -1,0 +1,105 @@
+(** Append-only, crash-tolerant run ledger (schema [slocal.run/1]).
+
+    Every kernel-facing CLI subcommand and every bench run appends one
+    manifest record to a JSONL ledger, giving multi-session
+    lower-bound campaigns a durable history: what ran, with which
+    kernel and seed, over which problems (canonical hashes), how it
+    ended, what the counters said and where the trace/profile/metric
+    artifacts went.  [slocal runs list|show|diff|gc] renders and
+    maintains the file.
+
+    Crash tolerance mirrors {!Trace}: one flushed line per record, a
+    tolerant reader that skips-and-counts damaged lines, so a run
+    killed mid-append costs one record, never the ledger. *)
+
+val schema_version : string
+(** ["slocal.run/1"]. *)
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+  hs_max : int;
+}
+(** Quantile summary of one registry histogram at run end. *)
+
+type record = {
+  id : string;  (** Short hex id, unique enough for prefix lookup. *)
+  argv : string list;
+  started_at : float;  (** Unix epoch seconds. *)
+  finished_at : float;
+  outcome : string;  (** ["ok"], ["error"] or ["exit"]. *)
+  exit_code : int;
+  kernel : string option;  (** [--kernel] mode, when the command has one. *)
+  seed : int option;
+  problems : (string * int) list;
+      (** [(name, canonical hash)] of every parsed problem. *)
+  counters : (string * int) list;  (** Non-zero counters at run end. *)
+  gauges : (string * int) list;
+  histograms : (string * hist_summary) list;
+  artifacts : (string * string) list;
+      (** [(kind, path)]: trace, profile, openmetrics, bench JSON. *)
+}
+
+val wall_seconds : record -> float
+
+(** {1 Ledger location} *)
+
+val default_path : unit -> string option
+(** [SLOCAL_LEDGER] when set (the values [""], ["off"] and ["none"]
+    disable the ledger: [None]); otherwise [.slocal/runs.jsonl]. *)
+
+(** {1 Codec, append and read} *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> (record, string) result
+
+val append : path:string -> record -> (unit, string) result
+(** Append one record as a single flushed JSONL line, creating the
+    file and its directory as needed. *)
+
+type read_result = { records : record list; skipped : int }
+
+val read_channel : in_channel -> read_result
+val read_file : string -> read_result
+(** Tolerant read: damaged or foreign lines are counted in [skipped],
+    never fatal.  @raise Sys_error when the file cannot be opened. *)
+
+(** {1 Selection and comparison} *)
+
+val find : read_result -> string -> (record, string) result
+(** [find r key] resolves a CLI run designator: an all-digits [key] is
+    a 1-based index into the ledger (oldest first), anything else an
+    id prefix that must match exactly one record. *)
+
+val diff : record -> record -> (string * int * int) list
+(** [(name, value_a, value_b)] over the union of the two records'
+    counters (missing = 0), sorted, equal entries dropped. *)
+
+val gc : path:string -> keep:int -> (int * int, string) result
+(** Rewrite the ledger atomically keeping only the newest [keep]
+    records (damaged lines are dropped too).  Returns
+    [(kept, dropped)]. *)
+
+(** {1 The in-process run context}
+
+    The CLI and the bench harness wrap each run: {!begin_run} at
+    startup, [note_*] as information becomes available, {!finish_run}
+    exactly once at the end (idempotent, so an [at_exit] safety net
+    and a normal teardown can both call it).  All of these are no-ops
+    when no run is active, and {!finish_run} is best-effort: a
+    read-only working directory never fails the run itself. *)
+
+val begin_run : argv:string list -> unit
+val note_kernel : string -> unit
+val note_seed : int -> unit
+val note_problem : name:string -> hash:int -> unit
+val note_artifact : kind:string -> string -> unit
+val note_exit : int -> unit
+
+val finish_run : outcome:string -> unit
+(** Snapshot the telemetry registry into a {!record} and append it to
+    {!default_path} (no-op when the ledger is disabled, the context
+    was never opened, or the record was already written). *)

@@ -30,6 +30,12 @@ let snapshot () =
   Hashtbl.fold (fun _ m acc -> (m.m_name, m.m_value) :: acc) registry []
   |> List.sort compare
 
+let kinds_snapshot () =
+  Hashtbl.fold
+    (fun _ m acc -> (m.m_name, m.m_kind, m.m_value) :: acc)
+    registry []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let nonzero_snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot ())
 
 let delta ~before ~after =
@@ -258,16 +264,23 @@ let set_sink s =
   current := s;
   match s with Null -> () | Emit e -> e.emit (Trace_start { t_ns = now_ns () })
 
+(* Flushing must be an idempotent no-op whatever state the sink is in:
+   the at_exit safety net below can run after a CLI wrapper already
+   flushed and closed the underlying channel, and a double flush must
+   not duplicate or truncate the trailing record.  Sinks themselves
+   never buffer partial lines (jsonl_sink flushes per event), so
+   swallowing a [Sys_error] from a closed channel loses nothing. *)
+let flush_sink () =
+  match !current with
+  | Null -> ()
+  | Emit e -> ( try e.flush () with _ -> ())
+
 (* Safety net: if the process exits (node-budget abort, uncaught
    exception, plain [exit]) while a sink is still installed, push any
    buffered output through.  Registered at module load, so it runs
    after every later [at_exit] (LIFO): a CLI wrapper that tears its
    sink down first leaves this a no-op. *)
-let () =
-  at_exit (fun () ->
-      match !current with
-      | Null -> ()
-      | Emit e -> ( try e.flush () with _ -> ()))
+let () = at_exit flush_sink
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
@@ -431,14 +444,21 @@ let event_to_json ev : Json.t =
         [ ("kind", Json.String "message"); t t_ns; ("text", Json.String text) ]
 
 let jsonl_sink oc =
+  (* Both operations tolerate a closed channel: a CLI teardown path
+     may close [oc] before the module-level [at_exit] flush runs, and
+     emits raced against teardown must not crash the instrumented
+     code.  Each successful emit is a complete flushed line, so a
+     swallowed [Sys_error] can never leave a partial record behind. *)
   Emit
     {
       emit =
         (fun ev ->
-          output_string oc (Json.to_string (event_to_json ev));
-          output_char oc '\n';
-          flush oc);
-      flush = (fun () -> flush oc);
+          try
+            output_string oc (Json.to_string (event_to_json ev));
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ -> ());
+      flush = (fun () -> try flush oc with Sys_error _ -> ());
     }
 
 let pp_duration fmt ns =

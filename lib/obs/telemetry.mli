@@ -49,6 +49,11 @@ val name : metric -> string
 val snapshot : unit -> (string * int) list
 (** All registered metrics with their current values, sorted by name. *)
 
+val kinds_snapshot : unit -> (string * metric_kind * int) list
+(** Like {!snapshot} but carrying each metric's kind, for exporters
+    that render counters and gauges differently (OpenMetrics, the run
+    ledger). *)
+
 val nonzero_snapshot : unit -> (string * int) list
 
 val delta :
@@ -188,6 +193,13 @@ val set_sink : sink -> unit
 
 val enabled : unit -> bool
 (** [true] iff the current sink is not {!null_sink}. *)
+
+val flush_sink : unit -> unit
+(** Flush the current sink.  Idempotent and total: a null sink, an
+    already-flushed sink and a sink whose channel has been closed are
+    all no-ops (never an exception, never a duplicated or truncated
+    trailing record).  The module-level [at_exit] safety net is
+    exactly this call. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()].  With a null sink this is just the

@@ -434,6 +434,85 @@ let test_roundtrip_randomized () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* SL041: telemetry name drift against the DESIGN.md §6 table *)
+
+let test_telemetry_registrations () =
+  let src =
+    "let c = Telemetry.counter \"re.steps\"\n\
+     let g = gauge \"graph.girth_achieved\"\n\
+     let h = Slocal_obs.Telemetry.histogram \"span.solve\"\n\
+     let again = counter \"re.steps\"\n\
+     let not_a_call = my_counter \"bogus.name\"\n\
+     let no_literal = counter name\n"
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "registrations found, deduplicated, sorted"
+    [
+      ("counter", "re.steps");
+      ("gauge", "graph.girth_achieved");
+      ("histogram", "span.solve");
+    ]
+    (Source.telemetry_registrations src)
+
+let design_stub =
+  "## 6. Telemetry\n\n\
+   ### Counter and gauge names\n\n\
+   | prefix | names |\n\
+   |---|---|\n\
+   | `re.` | `steps`, `cache_hits` |\n\
+   | `graph.` | `girth_achieved` |\n\n\
+   Span names follow `span.<area>`.\n\n\
+   ## 7. Next\n\
+   | `bogus.` | `after_section` |\n"
+
+let test_design_metric_names () =
+  check
+    (Alcotest.list Alcotest.string)
+    "table rows parsed, later sections ignored"
+    [ "graph.girth_achieved"; "re.cache_hits"; "re.steps" ]
+    (Source.design_metric_names design_stub);
+  check
+    (Alcotest.list Alcotest.string)
+    "no table means no names" []
+    (Source.design_metric_names "## 6. Telemetry\nno table here\n")
+
+let test_telemetry_name_findings () =
+  let documented_src = "let c = counter \"re.steps\"\n" in
+  let drifted_src = "let c = counter \"re.undocumented_counter\"\n" in
+  check bool_t "documented name is clean" true
+    (Source.telemetry_name_findings ~design:design_stub
+       [ ("a.ml", documented_src) ]
+    = []);
+  (match
+     Source.telemetry_name_findings ~design:design_stub
+       [ ("a.ml", documented_src); ("b.ml", drifted_src) ]
+   with
+  | [ d ] ->
+      check Alcotest.string "drift is SL041" "SL041" d.D.code;
+      check bool_t "drift is a warning" true (d.D.severity = D.Warning);
+      check Alcotest.string "drift names the file" "b.ml" d.D.subject
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 finding, got %d" (List.length ds)));
+  (* A design document without the table is itself a finding. *)
+  check bool_t "missing table reported" true
+    (has_code "SL041"
+       (Source.telemetry_name_findings ~design:"nothing here"
+          [ ("a.ml", documented_src) ]))
+
+let test_telemetry_lint_repo () =
+  (* The real library sources against the real design document: the
+     documented inventory must not drift (this is the CI lint). *)
+  let design = "../../../DESIGN.md" and lib = "../../../lib" in
+  if Sys.file_exists design && Sys.file_exists lib then
+    check
+      (Alcotest.list Alcotest.string)
+      "lib registrations all documented" []
+      (List.map D.to_machine_string
+         (Source.lint_telemetry_files ~design ~src_dirs:[ lib ]))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "analysis"
@@ -494,6 +573,17 @@ let () =
         [
           Alcotest.test_case "large alphabet infos" `Quick
             test_large_alphabet_budget_infos;
+        ] );
+      ( "telemetry-names",
+        [
+          Alcotest.test_case "registration scan" `Quick
+            test_telemetry_registrations;
+          Alcotest.test_case "design table parse" `Quick
+            test_design_metric_names;
+          Alcotest.test_case "drift findings" `Quick
+            test_telemetry_name_findings;
+          Alcotest.test_case "repo inventory documented" `Quick
+            test_telemetry_lint_repo;
         ] );
       ( "properties",
         [

@@ -422,6 +422,338 @@ let test_jsonl_roundtrip () =
        Json.as_int)
 
 (* ------------------------------------------------------------------ *)
+(* Sink flush idempotence *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lines_of path =
+  String.split_on_char '\n' (read_all path) |> List.filter (fun l -> l <> "")
+
+let test_flush_idempotent () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_flush" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  Telemetry.set_sink (Telemetry.jsonl_sink oc);
+  let c = Telemetry.counter "test.flush.counter" in
+  Telemetry.add c 2;
+  Telemetry.emit_counters ();
+  Telemetry.flush_sink ();
+  let size () = (Unix.stat file).Unix.st_size in
+  let s1 = size () in
+  Telemetry.flush_sink ();
+  Telemetry.flush_sink ();
+  check int_t "double flush adds nothing" s1 (size ());
+  (* Closing the channel behind the sink: emit and flush must both
+     become silent no-ops, and the trailing record stays intact. *)
+  close_out oc;
+  Telemetry.flush_sink ();
+  Telemetry.message "after close";
+  Telemetry.emit_counters ();
+  Telemetry.flush_sink ();
+  Telemetry.set_sink Telemetry.null_sink;
+  Telemetry.flush_sink ();
+  check int_t "closed sink wrote nothing" s1 (size ());
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok v -> v
+        | Error e ->
+            Alcotest.fail (Printf.sprintf "damaged line %S: %s" line e))
+      (lines_of file)
+  in
+  let last = List.nth parsed (List.length parsed - 1) in
+  check (Alcotest.option string_t) "trailing record intact" (Some "counters")
+    (Option.bind (Json.member "kind" last) Json.as_string)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition *)
+
+module Openmetrics = Slocal_obs.Openmetrics
+
+let test_openmetrics_names () =
+  check string_t "dots become underscores" "slocal_re_cache_hits"
+    (Openmetrics.metric_name "re.cache_hits");
+  check string_t "non-identifier chars collapse" "slocal_a_b_c"
+    (Openmetrics.metric_name "a.b-c")
+
+let sample_value line =
+  match String.rindex_opt line ' ' with
+  | Some i -> int_of_string (String.sub line (i + 1) (String.length line - i - 1))
+  | None -> Alcotest.fail ("exposition line without a value: " ^ line)
+
+let test_openmetrics_render () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.om.count" in
+  Telemetry.add c 3;
+  let g = Telemetry.gauge "test.om.gauge" in
+  Telemetry.set g 7;
+  let h = Telemetry.histogram "test.om.hist" in
+  List.iter (H.record h) [ 1; 2; 3; 1000 ];
+  let out = Openmetrics.render () in
+  check bool_t "document ends with # EOF" true
+    (String.ends_with ~suffix:"# EOF\n" out);
+  let lines = String.split_on_char '\n' out in
+  let has l = List.mem l lines in
+  check bool_t "counter HELP line" true
+    (List.exists
+       (String.starts_with ~prefix:"# HELP slocal_test_om_count_total ")
+       lines);
+  check bool_t "counter TYPE line" true
+    (has "# TYPE slocal_test_om_count_total counter");
+  check bool_t "counter sample" true (has "slocal_test_om_count_total 3");
+  check bool_t "gauge TYPE line" true (has "# TYPE slocal_test_om_gauge gauge");
+  check bool_t "gauge sample" true (has "slocal_test_om_gauge 7");
+  check bool_t "histogram TYPE line" true
+    (has "# TYPE slocal_test_om_hist histogram");
+  let buckets =
+    List.filter
+      (String.starts_with ~prefix:"slocal_test_om_hist_bucket{le=")
+      lines
+  in
+  check bool_t "at least two bucket series" true (List.length buckets >= 2);
+  let vals = List.map sample_value buckets in
+  check bool_t "cumulative buckets monotone" true
+    (vals = List.sort compare vals);
+  (match List.rev buckets with
+  | last :: _ ->
+      check bool_t "last bucket is +Inf" true
+        (String.starts_with ~prefix:"slocal_test_om_hist_bucket{le=\"+Inf\"}"
+           last);
+      check int_t "+Inf bucket equals observation count" 4 (sample_value last)
+  | [] -> Alcotest.fail "no bucket series");
+  let sample name =
+    match List.find_opt (String.starts_with ~prefix:(name ^ " ")) lines with
+    | Some l -> sample_value l
+    | None -> Alcotest.fail ("missing sample " ^ name)
+  in
+  check int_t "_count consistent" 4 (sample "slocal_test_om_hist_count");
+  check int_t "_sum consistent" 1006 (sample "slocal_test_om_hist_sum")
+
+let test_openmetrics_write_file () =
+  with_clean_telemetry @@ fun () ->
+  ignore (Telemetry.counter "test.om.file");
+  let file = Filename.temp_file "slocal_om" ".prom" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Openmetrics.write_file file;
+  let text = read_all file in
+  check bool_t "published snapshot complete" true
+    (String.ends_with ~suffix:"# EOF\n" text);
+  check bool_t "published snapshot non-trivial" true
+    (String.length text > String.length "# EOF\n")
+
+(* ------------------------------------------------------------------ *)
+(* Run ledger *)
+
+module Ledger = Slocal_obs.Ledger
+
+let sample_record ?(id = "cafe0001") ?(counters = [ ("c", 1) ]) () =
+  {
+    Ledger.id;
+    argv = [ "slocal"; "re"; "x.slp" ];
+    started_at = 1000.25;
+    finished_at = 1003.75;
+    outcome = "ok";
+    exit_code = 0;
+    kernel = Some "fast";
+    seed = Some 42;
+    problems = [ ("mm3", 123456789) ];
+    counters;
+    gauges = [ ("g", 2) ];
+    histograms =
+      [
+        ( "h",
+          {
+            Ledger.hs_count = 4;
+            hs_sum = 10;
+            hs_p50 = 2;
+            hs_p90 = 3;
+            hs_p99 = 3;
+            hs_max = 4;
+          } );
+      ];
+    artifacts = [ ("trace", "/tmp/t.jsonl") ];
+  }
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let with_temp_ledger f =
+  let path = Filename.temp_file "slocal_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_ledger_roundtrip () =
+  let r = sample_record () in
+  (match Ledger.of_json (Ledger.to_json r) with
+  | Ok r' -> check bool_t "record json round-trip" true (r = r')
+  | Error e -> Alcotest.fail e);
+  check (Alcotest.float 1e-9) "wall_seconds" 3.5 (Ledger.wall_seconds r);
+  (match Ledger.of_json (Json.Obj [ ("schema", Json.String "wrong/9") ]) with
+  | Ok _ -> Alcotest.fail "foreign schema accepted"
+  | Error _ -> ())
+
+let test_ledger_append_read () =
+  with_temp_ledger @@ fun path ->
+  List.iter
+    (fun id ->
+      match Ledger.append ~path (sample_record ~id ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ "aa01"; "ab02"; "ab03" ];
+  let r = Ledger.read_file path in
+  check int_t "three records" 3 (List.length r.Ledger.records);
+  check int_t "nothing skipped" 0 r.Ledger.skipped;
+  check (Alcotest.list string_t) "order preserved" [ "aa01"; "ab02"; "ab03" ]
+    (List.map (fun (x : Ledger.record) -> x.Ledger.id) r.Ledger.records);
+  (* A run killed mid-append leaves a truncated final line: one record
+     lost, the ledger still reads. *)
+  append_raw path "{\"schema\":\"slocal.run/1\",\"id\":\"dead";
+  let r = Ledger.read_file path in
+  check int_t "records survive truncation" 3 (List.length r.Ledger.records);
+  check int_t "truncated line counted" 1 r.Ledger.skipped;
+  (* Selection: 1-based index, unique id prefix, ambiguity rejected. *)
+  let ok = function
+    | Ok (x : Ledger.record) -> x.Ledger.id
+    | Error e -> Alcotest.fail e
+  in
+  check string_t "index lookup" "ab02" (ok (Ledger.find r "2"));
+  check string_t "prefix lookup" "aa01" (ok (Ledger.find r "aa"));
+  check bool_t "ambiguous prefix rejected" true
+    (Result.is_error (Ledger.find r "ab"));
+  check bool_t "unknown key rejected" true
+    (Result.is_error (Ledger.find r "zz"));
+  check bool_t "index 0 rejected" true (Result.is_error (Ledger.find r "0"))
+
+let test_ledger_diff () =
+  let a = sample_record ~counters:[ ("same", 3); ("x", 1); ("y", 5) ] () in
+  let b = sample_record ~counters:[ ("same", 3); ("y", 7); ("z", 2) ] () in
+  check
+    (Alcotest.list (Alcotest.triple string_t int_t int_t))
+    "counter union, equal dropped"
+    [ ("x", 1, 0); ("y", 5, 7); ("z", 0, 2) ]
+    (Ledger.diff a b)
+
+let test_ledger_gc () =
+  with_temp_ledger @@ fun path ->
+  List.iter
+    (fun i ->
+      match Ledger.append ~path (sample_record ~id:(Printf.sprintf "id%02d" i) ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3; 4; 5 ];
+  append_raw path "not json\n";
+  (match Ledger.gc ~path ~keep:2 with
+  | Ok (kept, dropped) ->
+      check int_t "kept" 2 kept;
+      check int_t "dropped (incl damaged)" 4 dropped
+  | Error e -> Alcotest.fail e);
+  let r = Ledger.read_file path in
+  check (Alcotest.list string_t) "newest records survive" [ "id04"; "id05" ]
+    (List.map (fun (x : Ledger.record) -> x.Ledger.id) r.Ledger.records);
+  check int_t "rewrite is clean" 0 r.Ledger.skipped
+
+let test_ledger_run_context () =
+  with_clean_telemetry @@ fun () ->
+  with_temp_ledger @@ fun path ->
+  Fun.protect ~finally:(fun () -> Unix.putenv "SLOCAL_LEDGER" "off")
+  @@ fun () ->
+  Unix.putenv "SLOCAL_LEDGER" path;
+  check (Alcotest.option string_t) "env selects the ledger" (Some path)
+    (Ledger.default_path ());
+  Unix.putenv "SLOCAL_LEDGER" "none";
+  check bool_t "\"none\" disables" true (Ledger.default_path () = None);
+  Unix.putenv "SLOCAL_LEDGER" path;
+  Ledger.begin_run ~argv:[ "slocal"; "test" ];
+  Ledger.note_kernel "fast";
+  Ledger.note_seed 7;
+  Ledger.note_problem ~name:"mm3" ~hash:99;
+  Ledger.note_problem ~name:"mm3" ~hash:99;
+  Ledger.note_artifact ~kind:"trace" "/tmp/x.jsonl";
+  Telemetry.add (Telemetry.counter "test.ledger.counter") 5;
+  Ledger.finish_run ~outcome:"ok";
+  Ledger.finish_run ~outcome:"error";
+  let r = Ledger.read_file path in
+  (match r.Ledger.records with
+  | [ rec_ ] ->
+      check (Alcotest.list string_t) "argv" [ "slocal"; "test" ]
+        rec_.Ledger.argv;
+      check string_t "finish_run is idempotent" "ok" rec_.Ledger.outcome;
+      check (Alcotest.option string_t) "kernel noted" (Some "fast")
+        rec_.Ledger.kernel;
+      check (Alcotest.option int_t) "seed noted" (Some 7) rec_.Ledger.seed;
+      check
+        (Alcotest.list (Alcotest.pair string_t int_t))
+        "problems deduplicated" [ ("mm3", 99) ] rec_.Ledger.problems;
+      check (Alcotest.option string_t) "artifact noted" (Some "/tmp/x.jsonl")
+        (List.assoc_opt "trace" rec_.Ledger.artifacts);
+      check (Alcotest.option int_t) "counters snapshotted" (Some 5)
+        (List.assoc_opt "test.ledger.counter" rec_.Ledger.counters);
+      check bool_t "timestamps ordered" true
+        (rec_.Ledger.finished_at >= rec_.Ledger.started_at)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs)))
+
+(* ------------------------------------------------------------------ *)
+(* Live progress *)
+
+module Progress = Slocal_obs.Progress
+
+let test_progress_modes () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_progress" ".txt" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () ->
+      Progress.set_mode Progress.Off;
+      Progress.set_output stderr;
+      Progress.set_interval_ns 500_000_000L;
+      Progress.reset ();
+      close_out_noerr oc;
+      Sys.remove file)
+  @@ fun () ->
+  Progress.set_mode Progress.Off;
+  Progress.reset ();
+  check bool_t "Off is inactive" false (Progress.is_active ());
+  Progress.start ~total:2 "quiet";
+  Progress.tick ~step:1 ();
+  Progress.finish ();
+  check int_t "Off emits nothing" 0 (Progress.heartbeat_count ());
+  Progress.set_mode Progress.Forced;
+  Progress.set_output oc;
+  Progress.set_interval_ns 0L;
+  check bool_t "Forced is active" true (Progress.is_active ());
+  Progress.start ~total:3 "phase";
+  Progress.tick ~step:1 ~info:"labels=6" ();
+  Progress.tick ~step:2 ();
+  Progress.tick ~step:3 ();
+  Progress.finish ();
+  Progress.tick ~step:4 ();
+  (* after finish: no-op *)
+  Progress.solver_tick ~nodes:1000;
+  Progress.solver_tick ~nodes:5000;
+  flush oc;
+  let lines = lines_of file in
+  check bool_t "heartbeats emitted" true (List.length lines >= 4);
+  check bool_t "every line carries the prefix" true
+    (List.for_all (String.starts_with ~prefix:"[progress] ") lines);
+  check bool_t "info suffix present" true
+    (List.exists
+       (fun l ->
+         String.length l >= 8
+         && String.ends_with ~suffix:"labels=6" l)
+       lines);
+  check int_t "heartbeat counter matches lines" (List.length lines)
+    (Progress.heartbeat_count ())
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -457,5 +789,23 @@ let () =
           Alcotest.test_case "exception closes spans" `Quick
             test_span_exception_close;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "flush idempotence" `Quick test_flush_idempotent;
         ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "name mapping" `Quick test_openmetrics_names;
+          Alcotest.test_case "exposition format" `Quick test_openmetrics_render;
+          Alcotest.test_case "atomic publish" `Quick test_openmetrics_write_file;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "record round-trip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "append, truncation, find" `Quick
+            test_ledger_append_read;
+          Alcotest.test_case "counter diff" `Quick test_ledger_diff;
+          Alcotest.test_case "gc" `Quick test_ledger_gc;
+          Alcotest.test_case "run context" `Quick test_ledger_run_context;
+        ] );
+      ( "progress",
+        [ Alcotest.test_case "modes and heartbeats" `Quick test_progress_modes ] );
     ]
