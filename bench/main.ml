@@ -918,11 +918,17 @@ type experiment_record = {
   counters : (string * int) list;
 }
 
+let c_experiments = Telemetry.counter "bench.experiments"
+
 let run_experiment (id, title, f) =
   header id title;
+  Telemetry.incr c_experiments;
   (* Start from a cold RE cache so each experiment's counters are
      self-contained: comparable across runs regardless of which other
-     experiments ran before (e.g. full tables vs the --quick subset). *)
+     experiments ran before (e.g. full tables vs the --quick subset).
+     [clear_cache] also zeroes the re.cache_* counters, which is what
+     the per-experiment delta below wants: the [before] snapshot is
+     taken after the clear. *)
   Re_step.clear_cache ();
   let before = Telemetry.snapshot () in
   let t0 = Telemetry.now_ns () in

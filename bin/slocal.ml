@@ -55,6 +55,7 @@ module Diagnostic = Slocal_analysis.Diagnostic
 module Chk = Slocal_analysis.Check
 module Profile = Slocal_analysis.Profile
 module Source = Slocal_analysis.Source
+module Staticcheck = Slocal_analysis.Staticcheck
 module Json = Slocal_obs.Json
 module Ledger = Slocal_obs.Ledger
 module Progress = Slocal_obs.Progress
@@ -788,51 +789,110 @@ let lint_cmd =
                    --telemetry).")
   in
   let src_opt =
-    Arg.(value & opt_all string [ "lib" ]
+    Arg.(value & opt_all string [ "lib"; "bin"; "bench" ]
          & info [ "src" ] ~docv:"DIR"
-             ~doc:"Source directory to scan for metric registrations \
-                   (repeatable, with --telemetry).")
+             ~doc:"Source directory to scan (repeatable, with --telemetry and \
+                   --domains).")
   in
-  let run specs delta r machine codes re_steps telemetry design src_dirs =
+  let domains_flag =
+    Arg.(value & flag
+         & info [ "domains" ]
+             ~doc:"Run the domain-safety static analysis over the OCaml \
+                   sources: inventory module-scope mutable state and \
+                   nondeterminism sources (SL050-SL055) and require every \
+                   finding to carry a staticcheck classification (pragma or \
+                   STATICCHECK.md row); stale annotations are SL056.")
+  in
+  let slp_flag =
+    Arg.(value & flag
+         & info [ "slp" ]
+             ~doc:"Treat the positional arguments as problem-document paths \
+                   and run only the fast source lint on them: unused labels \
+                   and within-line duplicate configurations (SL057), plus \
+                   SL000 on parse failure.")
+  in
+  let report_opt =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"With --domains: also write the machine-readable \
+                   slocal.staticcheck/1 JSON inventory to $(docv).")
+  in
+  let inventory_flag =
+    Arg.(value & flag
+         & info [ "inventory" ]
+             ~doc:"With --domains: print the human inventory table (every \
+                   finding with its classification) before the diagnostics.")
+  in
+  let run specs delta r machine codes re_steps telemetry design src_dirs
+      domains slp report inventory =
     if codes then Format.printf "%a@?" Chk.pp_code_table ()
-    else begin
-      if specs = [] && not telemetry then begin
-        prerr_endline "lint: no problems given (try --codes for the code table)";
-        exit 2
-      end;
+    else
+      with_telemetry ~cmd:"lint" None false None
+      @@ fun () ->
+      let domains = domains || report <> None || inventory in
+      (* Plain [slocal lint] with no arguments: the repository
+         self-checks (domain-safety inventory + telemetry name table). *)
+      let domains, telemetry =
+        if specs = [] && not (domains || telemetry || slp) then (true, true)
+        else (domains, telemetry)
+      in
+      let domain_diags =
+        if not domains then []
+        else begin
+          let findings, diags = Staticcheck.analyze_files ~src_dirs () in
+          if inventory then
+            Format.printf "%a" Staticcheck.pp_inventory findings;
+          (match report with
+          | None -> ()
+          | Some file -> (
+              let json = Staticcheck.report_json ~roots:src_dirs findings in
+              try
+                let oc = open_out file in
+                output_string oc (Json.to_string json);
+                output_char oc '\n';
+                close_out oc;
+                Ledger.note_artifact ~kind:"staticcheck" file
+              with Sys_error msg ->
+                Format.eprintf "staticcheck: cannot write %s: %s@." file msg));
+          diags
+        end
+      in
       let telemetry_diags =
         if telemetry then Source.lint_telemetry_files ~design ~src_dirs
         else []
       in
       let diags =
-        List.concat_map
-          (fun spec ->
-            if Sys.file_exists spec && not (Sys.is_directory spec) then
-              Chk.lint_file ?delta ?r spec
-            else
-              match String.index_opt spec ':' with
-              | Some 4 when String.sub spec 0 4 = "file" ->
-                  Chk.lint_file ?delta ?r
-                    (String.sub spec 5 (String.length spec - 5))
-              | _ -> (
-                  match parse_problem spec with
-                  | p ->
-                      Chk.lint_problem ?delta ?r p
-                      @ Chk.lint_re_chain p ~steps:re_steps
-                  | exception Invalid_argument msg ->
-                      [ Diagnostic.error ~code:"SL000" ~subject:spec
-                          ("unparsable problem: " ^ msg) ]))
-          specs
+        if slp then List.concat_map Source.lint_slp_file specs
+        else
+          List.concat_map
+            (fun spec ->
+              if Sys.file_exists spec && not (Sys.is_directory spec) then
+                Chk.lint_file ?delta ?r spec
+              else
+                match String.index_opt spec ':' with
+                | Some 4 when String.sub spec 0 4 = "file" ->
+                    Chk.lint_file ?delta ?r
+                      (String.sub spec 5 (String.length spec - 5))
+                | _ -> (
+                    match parse_problem spec with
+                    | p ->
+                        Chk.lint_problem ?delta ?r p
+                        @ Chk.lint_re_chain p ~steps:re_steps
+                    | exception Invalid_argument msg ->
+                        [ Diagnostic.error ~code:"SL000" ~subject:spec
+                            ("unparsable problem: " ^ msg) ]))
+            specs
       in
-      report_and_exit ~machine (telemetry_diags @ diags)
-    end
+      report_and_exit ~machine (domain_diags @ telemetry_diags @ diags)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify formalism invariants (diagrams, lifts, \
-             condensed syntax, telemetry name inventory)")
+             condensed syntax, telemetry name inventory, domain-safety of \
+             the sources)")
     Term.(const run $ specs $ delta_opt $ r_opt $ machine_flag $ codes_flag
-          $ re_steps $ telemetry_flag $ design_opt $ src_opt)
+          $ re_steps $ telemetry_flag $ design_opt $ src_opt $ domains_flag
+          $ slp_flag $ report_opt $ inventory_flag)
 
 let audit_cmd =
   let k =

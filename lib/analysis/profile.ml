@@ -7,6 +7,7 @@ module Json = Slocal_obs.Json
 
 let profile_schema_version = "slocal.profile/1"
 
+(* staticcheck: per-call trace replay builds a fresh span table per parsed trace; never shared *)
 type span = {
   id : int;
   name : string;

@@ -11,6 +11,7 @@ module Config_set = Set.Make (struct
   let compare = Multiset.compare
 end)
 
+(* staticcheck: shared-cache-needs-lock per-constraint memo tables are filled on demand; share constraints across domains only behind a lock or clone per domain *)
 type t = {
   arity : int;
   configs : Config_set.t;

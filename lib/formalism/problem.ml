@@ -101,15 +101,13 @@ let parse_items alphabet tokens =
   in
   items [] tokens
 
-let expand_items items =
+let expand_items_multi items =
   let positions =
     List.concat_map (fun (alts, k) -> List.init k (fun _ -> alts)) items
   in
-  Combinat.cartesian positions
-  |> List.map Multiset.of_list
-  |> List.sort_uniq Multiset.compare
+  Combinat.cartesian positions |> List.map Multiset.of_list
 
-let parse_configs alphabet s =
+let parse_configs_multi alphabet s =
   let tokens = tokenize s in
   (* Split on Bar. *)
   let groups =
@@ -123,8 +121,11 @@ let parse_configs alphabet s =
     |> List.rev_map List.rev
     |> List.filter (fun g -> g <> [])
   in
-  List.concat_map (fun g -> expand_items (parse_items alphabet g)) groups
-  |> List.sort_uniq Multiset.compare
+  List.concat_map (fun g -> expand_items_multi (parse_items alphabet g)) groups
+  |> List.sort Multiset.compare
+
+let parse_configs alphabet s =
+  List.sort_uniq Multiset.compare (parse_configs_multi alphabet s)
 
 let parse ~name ~labels ~white ~black =
   let alphabet = Alphabet.of_names labels in

@@ -10,7 +10,7 @@ type grounding = {
 
 type kernel = Fast | Reference
 
-let kernel = ref Fast
+let kernel = ref Fast (* staticcheck: immutable-after-init selected once by the CLI / test setup before any RE runs *)
 let set_kernel k = kernel := k
 let current_kernel () = !kernel
 
@@ -341,15 +341,26 @@ let r_white p =
    independent of the input problem's own name; the RE(...) name is
    re-applied per call. *)
 
+(* staticcheck: shared-cache-needs-lock cross-invocation RE memo; the multicore kernel must lock it or split it per domain and merge *)
 let result_cache : (int, (Problem.t * Problem.t) list) Hashtbl.t =
   Hashtbl.create 64
 
-let result_cache_entries = ref 0
+let result_cache_entries = ref 0 (* staticcheck: shared-cache-needs-lock occupancy count paired with result_cache; same lock *)
 let max_result_cache_entries = 512
 
-let clear_cache () =
+(* Internal eviction (cache full): drops the entries but keeps the
+   hit/miss counters accumulating, so mid-run evictions do not hide
+   traffic from hit-rate numbers. *)
+let evict_all () =
   Hashtbl.reset result_cache;
   result_cache_entries := 0
+
+let clear_cache () =
+  evict_all ();
+  (* An explicit clear starts a fresh measurement window: hit-rate
+     numbers after it must not be polluted by pre-clear traffic. *)
+  Telemetry.set c_cache_hits 0;
+  Telemetry.set c_cache_misses 0
 
 let re_fast p =
   let step1 = r_black_fast p in
@@ -375,7 +386,7 @@ let re ?(cache = true) p =
           Telemetry.incr c_cache_misses;
           let result = re_fast p in
           if !result_cache_entries >= max_result_cache_entries then
-            clear_cache ();
+            evict_all ();
           let bucket =
             Option.value (Hashtbl.find_opt result_cache h) ~default:[]
           in

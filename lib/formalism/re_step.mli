@@ -67,7 +67,11 @@ val is_fixed_point : Problem.t -> bool
     [Π_Δ(k)] is a fixed point whenever [k <= Δ].) *)
 
 val clear_cache : unit -> unit
-(** Drop all cached RE results (tests and benchmarks). *)
+(** Drop all cached RE results {e and} zero the paired
+    [re.cache_hits]/[re.cache_misses] counters, so hit-rate numbers
+    measured after an explicit clear are not polluted by pre-clear
+    traffic (tests and benchmarks).  The internal capacity eviction
+    does {e not} reset the counters. *)
 
 val enumerate_set_configs :
   candidates:Slocal_util.Bitset.t list ->

@@ -321,6 +321,7 @@ let gc ~path ~keep =
    context.  Appending is best-effort: a read-only working directory
    must never fail the run itself. *)
 
+(* staticcheck: per-call one ledger record per CLI invocation; owned by the coordinating domain *)
 type ctx = {
   c_id : string;
   c_argv : string list;
@@ -333,7 +334,7 @@ type ctx = {
   mutable c_done : bool;
 }
 
-let active : ctx option ref = ref None
+let active : ctx option ref = ref None (* staticcheck: per-call one active run per process; written only by the CLI wrapper *)
 
 let fresh_id () =
   let t = Unix.gettimeofday () in

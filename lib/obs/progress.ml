@@ -10,13 +10,14 @@
 
 type mode = Off | Auto | Forced
 
-let mode = ref Off
-let out = ref stderr
-let interval_ns = ref 500_000_000L
+let mode = ref Off (* staticcheck: immutable-after-init set once by the CLI before kernels run *)
+let out = ref stderr (* staticcheck: immutable-after-init set once by the CLI before kernels run *)
+let interval_ns = ref 500_000_000L (* staticcheck: immutable-after-init set once by the CLI before kernels run *)
 let heartbeats = Telemetry.counter "progress.heartbeats"
 
 (* stderr's TTY-ness cannot change mid-process; cache the syscall so
    [Auto]-mode ticks from the solver hot loop stay cheap. *)
+(* staticcheck: immutable-after-init forcing races are idempotent (same syscall result) *)
 let stderr_tty = lazy (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
 
 let is_active () =
@@ -48,11 +49,11 @@ let pp_secs s =
 (* Phase progress: an explicit start/tick/finish protocol used by
    [Sequence.iterate_re], with an ETA from the target-length budget. *)
 
-let ph_label = ref ""
-let ph_total = ref None
-let ph_t0 = ref 0L
-let ph_last = ref 0L
-let ph_started = ref false
+let ph_label = ref "" (* staticcheck: per-call one phase display active at a time; keep on the coordinating domain *)
+let ph_total = ref None (* staticcheck: per-call one phase display active at a time *)
+let ph_t0 = ref 0L (* staticcheck: per-call one phase display active at a time *)
+let ph_last = ref 0L (* staticcheck: per-call one phase display active at a time *)
+let ph_started = ref false (* staticcheck: per-call one phase display active at a time *)
 
 let start ?total label =
   if is_active () then begin
@@ -97,8 +98,8 @@ let finish () = ph_started := false
    (no start/finish protocol) because solves happen deep inside other
    phases; a node count below the last one means a new solve began. *)
 
-let sv_nodes = ref 0
-let sv_t = ref 0L
+let sv_nodes = ref 0 (* staticcheck: per-call solver heartbeat state; ticks come from one solve at a time *)
+let sv_t = ref 0L (* staticcheck: per-call solver heartbeat state *)
 
 let solver_tick ~nodes =
   if is_active () then begin

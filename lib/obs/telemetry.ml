@@ -5,8 +5,10 @@ let now_ns = Monotonic_clock.now
 (* Metrics *)
 
 type metric_kind = Counter | Gauge
+(* staticcheck: shared-cache-needs-lock metric stores are written from kernel hot paths; m_value must become Atomic under domains *)
 type metric = { m_name : string; m_kind : metric_kind; mutable m_value : int }
 
+(* staticcheck: shared-cache-needs-lock global interning registry; registration must be locked (reads after init are safe) *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let register m_name m_kind =
@@ -65,6 +67,7 @@ module Histogram = struct
      and quantile estimates clamp to the observed range. *)
   let bucket_count = 64
 
+  (* staticcheck: shared-cache-needs-lock registered histograms are recorded into by kernels; needs per-domain split + merge *)
   type t = {
     mutable h_count : int;
     mutable h_sum : int;
@@ -188,6 +191,7 @@ module Histogram = struct
     h
 end
 
+(* staticcheck: shared-cache-needs-lock global interning registry, same discipline as [registry] *)
 let hist_registry : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
 let histogram name =
@@ -205,7 +209,9 @@ let histogram_snapshot () =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset_metrics () =
+  (* staticcheck: domain-safe order-insensitive: every metric is reset independently *)
   Hashtbl.iter (fun _ m -> m.m_value <- 0) registry;
+  (* staticcheck: domain-safe order-insensitive: every histogram is reset independently *)
   Hashtbl.iter (fun _ h -> Histogram.reset h) hist_registry
 
 (* ------------------------------------------------------------------ *)
@@ -256,7 +262,7 @@ type sink = Null | Emit of { emit : event -> unit; flush : unit -> unit }
 
 let null_sink = Null
 let collector_sink f = Emit { emit = f; flush = ignore }
-let current = ref Null
+let current = ref Null (* staticcheck: immutable-after-init sink installed by the CLI before kernels run; single writer *)
 let enabled () = match !current with Null -> false | Emit _ -> true
 let emit ev = match !current with Null -> () | Emit e -> e.emit ev
 
@@ -280,15 +286,15 @@ let flush_sink () =
    buffered output through.  Registered at module load, so it runs
    after every later [at_exit] (LIFO): a CLI wrapper that tears its
    sink down first leaves this a no-op. *)
-let () = at_exit flush_sink
+let () = at_exit flush_sink (* staticcheck: domain-safe registered once at module init; flush_sink is idempotent and total *)
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
 (* (id, name, t0, alloc_bytes0), innermost first.  Only touched when a
    sink is installed, so the null-sink fast path never allocates. *)
-let span_stack : (int * string * int64 * float) list ref = ref []
-let next_id = ref 0
+let span_stack : (int * string * int64 * float) list ref = ref [] (* staticcheck: per-call span nesting is a per-domain notion; must become domain-local *)
+let next_id = ref 0 (* staticcheck: shared-cache-needs-lock global span-id allocator; must become Atomic under domains *)
 
 let span nm f =
   match !current with

@@ -407,19 +407,28 @@ let test_kernels_agree_structurally () =
 
 let test_re_cache_hits () =
   let hits = Slocal_obs.Telemetry.counter "re.cache_hits" in
+  let misses = Slocal_obs.Telemetry.counter "re.cache_misses" in
   Re_step.set_kernel Re_step.Fast;
   Re_step.clear_cache ();
+  check int_t "clear zeroes the hit counter" 0
+    (Slocal_obs.Telemetry.value hits);
+  check int_t "clear zeroes the miss counter" 0
+    (Slocal_obs.Telemetry.value misses);
   let p = golden_problem "mm:3" in
   let q1 = Re_step.re p in
-  let before = Slocal_obs.Telemetry.value hits in
+  check int_t "first call misses" 1 (Slocal_obs.Telemetry.value misses);
   let q2 = Re_step.re p in
-  check bool_t "second call hits the cache" true
-    (Slocal_obs.Telemetry.value hits = before + 1);
+  check int_t "second call hits the cache" 1
+    (Slocal_obs.Telemetry.value hits);
   check bool_t "cached result is the same problem" true (Problem.equal q1 q2);
   Re_step.clear_cache ();
+  check int_t "explicit clear starts a fresh measurement window" 0
+    (Slocal_obs.Telemetry.value hits + Slocal_obs.Telemetry.value misses);
   let q3 = Re_step.re p in
-  check bool_t "cleared cache misses" true
-    (Slocal_obs.Telemetry.value hits = before + 1);
+  check int_t "post-clear traffic counts from zero" 1
+    (Slocal_obs.Telemetry.value misses);
+  check int_t "post-clear recomputation is not a hit" 0
+    (Slocal_obs.Telemetry.value hits);
   check bool_t "recomputed result equal" true (Problem.equal q1 q3)
 
 let prop_random_problem_roundtrip =
