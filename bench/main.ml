@@ -46,8 +46,6 @@ module Girth = Slocal_graph.Girth
 module Coloring = Slocal_graph.Coloring
 module Independence = Slocal_graph.Independence
 module Prng = Slocal_util.Prng
-module Multiset = Slocal_util.Multiset
-module Combinat = Slocal_util.Combinat
 module Checker = Slocal_model.Checker
 module Solver = Slocal_model.Solver
 module Supported = Slocal_model.Supported
@@ -277,31 +275,11 @@ let t13 () =
 (* ------------------------------------------------------------------ *)
 (* E-LIFT *)
 
-let all_two_label_problems () =
-  let configs =
-    [ Multiset.of_list [ 0; 0 ]; Multiset.of_list [ 0; 1 ]; Multiset.of_list [ 1; 1 ] ]
-  in
-  let nonempty_subsets =
-    List.filter
-      (fun s -> s <> [])
-      (List.concat_map (fun k -> Combinat.subsets_of_size k configs) [ 1; 2; 3 ])
-  in
-  let alphabet = Alphabet.of_names [ "A"; "B" ] in
-  List.concat_map
-    (fun w ->
-      List.map
-        (fun b ->
-          Problem.make ~name:"sweep" ~alphabet
-            ~white:(Constr.make ~arity:2 w)
-            ~black:(Constr.make ~arity:2 b))
-        nonempty_subsets)
-    nonempty_subsets
-
 let e_lift () =
   List.iter
     (fun k ->
       let support = bipartite_cycle k in
-      let problems = all_two_label_problems () in
+      let problems = Zero_round.two_label_problems () in
       let agree = ref 0 and solvable = ref 0 in
       List.iter
         (fun p ->
@@ -857,6 +835,51 @@ let micro () =
   List.rev !results
 
 (* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+(* E-PAR *)
+
+(* Threads-scaling micro: the exhaustive two-label search batch at
+   pool widths 1, 2, 4.  Verifies the pool contract (results
+   byte-identical to sequential) and prints the wall time plus the
+   par.* counter deltas per width; on a single-core container the
+   interesting column is the accounting, not the speedup.  Kept out
+   of the --quick subset and, because the search route never touches
+   re.enum_nodes, out of the bench regression gate's node-count
+   comparison. *)
+let e_par () =
+  let support = bipartite_cycle 3 in
+  Format.printf
+    "two-label search_batch (49 problems, C_6 support) by pool width:@.";
+  Format.printf "  %4s %12s %10s %10s %10s %8s@." "jobs" "wall" "submitted"
+    "completed" "stolen" "merges";
+  let baseline = ref None in
+  List.iter
+    (fun jobs ->
+      (* Fresh problems per width: each task must own its instance's
+         constraint memo tables. *)
+      let problems = Zero_round.two_label_problems () in
+      let before = Telemetry.snapshot () in
+      let t0 = Telemetry.now_ns () in
+      let results = Zero_round.search_batch ~jobs support problems in
+      let t1 = Telemetry.now_ns () in
+      let d = Telemetry.delta ~before ~after:(Telemetry.snapshot ()) in
+      let c name = Option.value ~default:0 (List.assoc_opt name d) in
+      Format.printf "  %4d %12s %10d %10d %10d %8d@." jobs
+        (Format.asprintf "%a" Telemetry.pp_duration (Int64.sub t1 t0))
+        (c "par.tasks_submitted")
+        (c "par.tasks_completed")
+        (c "par.tasks_stolen") (c "par.merges");
+      match !baseline with
+      | None -> baseline := Some results
+      | Some b ->
+          if results <> b then
+            failwith
+              (Printf.sprintf
+                 "E-PAR: results at jobs=%d differ from sequential" jobs))
+    [ 1; 2; 4 ];
+  Format.printf "results identical across widths: true@."
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, machine-readable output, and the driver.
 
    Each experiment runs bracketed by a wall-clock reading and a
@@ -904,6 +927,9 @@ let all_experiments =
     ( "E-B1",
       "Lemma B.1, executable: one round elimination step on algorithms",
       e_b1 );
+    ( "E-PAR",
+      "Pool scaling: the 0-round search batch at widths 1/2/4, byte-identical",
+      e_par );
   ]
 
 (* The CI smoke subset: cheap experiments only (pure tables, diagrams,

@@ -9,6 +9,8 @@
      gen      — generate a support graph and report girth/independence
      sequence — iterate RE and machine-check the lower-bound sequence
      stats    — run a workload and print the telemetry counter summary
+     sweep    — decide 0-round solvability over the two-label space
+                (--jobs N fans the problems out over OCaml domains)
      runs     — list/show/diff/gc the slocal.run/1 ledger
      trace    — analyze a recorded trace (trace report FILE)
      export   — print a problem in the textual document format
@@ -16,8 +18,9 @@
      audit    — re-validate a lower-bound certificate end to end
 
    The kernel-facing subcommands (re, lift, solve, gen, audit, stats,
-   sequence) accept [--trace FILE] to record a JSONL telemetry trace
-   (schema slocal.trace/1, see DESIGN.md) and [--metrics] to print the
+   sequence, sweep) accept [--trace FILE] to record a JSONL telemetry
+   trace (schema slocal.trace/2, domain-tagged; see DESIGN.md) and
+   [--metrics] to print the
    counter summary to stderr on exit; each of them also appends one
    slocal.run/1 manifest record to the run ledger (SLOCAL_LEDGER or
    .slocal/runs.jsonl; "off" disables).  re/solve/sequence/audit/stats
@@ -25,8 +28,9 @@
    on exit) and [--progress] (throttled stderr heartbeat; on by
    default when stderr is a TTY).  [trace report FILE] reads a trace
    back and prints a profile (span tree self-times, hotspots, critical
-   path, provenance table), with [--json] (schema slocal.profile/1)
-   and [--folded] (flamegraph.pl / speedscope) outputs.
+   path, provenance table), with [--json] (schema slocal.profile/1),
+   [--folded] (flamegraph.pl / speedscope) and [--timeline]
+   (per-domain lanes, utilization) outputs.
 
    Problems are selected from the built-in families of the paper:
      matching:D:X:Y      Π_D(X,Y)            (Definition 4.2)
@@ -634,7 +638,9 @@ let trace_cmd =
       required
       & pos 0 (some file) None
       & info [] ~docv:"TRACE"
-          ~doc:"A JSONL trace recorded with --trace (schema slocal.trace/1).")
+          ~doc:
+            "A JSONL trace recorded with --trace (schema slocal.trace/2; \
+             legacy slocal.trace/1 files read as single-domain).")
   in
   let json_out =
     Arg.(
@@ -660,6 +666,15 @@ let trace_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"K" ~doc:"Rows in the hotspot table.")
   in
+  let timeline_flag =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Print the parallelism timeline instead of the profile: \
+             per-domain lanes, the concurrent-busy-domains histogram, \
+             utilization, serial fraction, and each lane's critical path.")
+  in
   let write_output what file text =
     match file with
     | "-" -> print_string text
@@ -669,7 +684,7 @@ let trace_cmd =
         close_out oc;
         Format.eprintf "wrote %s %s@." what file
   in
-  let run trace_file json_out folded_out top =
+  let run trace_file json_out folded_out top timeline =
     let profile = Profile.of_file trace_file in
     (* An empty or fully-damaged trace means there is nothing to
        profile: a loud SL040 diagnostic and exit 1 instead of a
@@ -687,7 +702,8 @@ let trace_cmd =
       exit 1
     end;
     (match profile.Profile.schema with
-    | Some s when s <> Telemetry.trace_schema_version ->
+    | Some s
+      when s <> Telemetry.trace_schema_version && s <> "slocal.trace/1" ->
         Format.eprintf "trace report: warning: unknown trace schema %S@." s
     | Some _ -> ()
     | None ->
@@ -709,7 +725,8 @@ let trace_cmd =
         write_output "folded stacks" file
           (Profile.folded_to_string (Profile.folded profile))
     | None -> ());
-    if json_out = None && folded_out = None then
+    if timeline then Format.printf "%a@?" Profile.pp_timeline profile
+    else if json_out = None && folded_out = None then
       Format.printf "%a@?" (Profile.pp ~top) profile
   in
   let report =
@@ -717,8 +734,9 @@ let trace_cmd =
       (Cmd.info "report"
          ~doc:
            "Profile a recorded trace: span-tree self times, hotspots, \
-            critical path, counter attribution, provenance table")
-      Term.(const run $ file_arg $ json_out $ folded_out $ top)
+            critical path, counter attribution, provenance table; \
+            --timeline for the multi-domain parallelism report")
+      Term.(const run $ file_arg $ json_out $ folded_out $ top $ timeline_flag)
   in
   Cmd.group
     (Cmd.info "trace" ~doc:"Analyze recorded telemetry traces")
@@ -733,6 +751,119 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Print a problem in the textual document format (re-readable by file:PATH)")
     Term.(const run $ problem_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The two-label zero-round sweep: the pilot parallel workload.  49
+   independent per-problem decisions on one support, fanned out over
+   --jobs domains; the output is byte-identical whatever the width. *)
+
+let sweep_cmd =
+  let jobs_opt =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan the per-problem decisions out over $(docv) OCaml domains \
+             (default 1 = sequential).  The report is byte-identical for \
+             every $(docv); only the wall time, the schedule recorded in a \
+             --trace file, and the par.* counters change.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000_000
+      & info [ "budget" ] ~doc:"Per-problem solver node budget (lift route).")
+  in
+  let route_opt =
+    let route_conv =
+      Arg.enum [ ("lift", `Lift); ("search", `Search); ("both", `Both) ]
+    in
+    Arg.(
+      value & opt route_conv `Both
+      & info [ "route" ] ~docv:"ROUTE"
+          ~doc:
+            "Decision route: $(b,lift) (solve lift_{Δ,r}(Π), Theorem 3.2), \
+             $(b,search) (exhaustive 0-round table search), or $(b,both) \
+             (the default; also reports agreement).")
+  in
+  let constr_label alphabet c =
+    String.concat "|"
+      (List.map
+         (fun m ->
+           String.concat ""
+             (List.map (Alphabet.name alphabet) (Slocal_util.Multiset.to_list m)))
+         (Constr.configs c))
+  in
+  let verdict = function
+    | Some true -> "yes"
+    | Some false -> "no"
+    | None -> "undecided"
+  in
+  let run gspec jobs route budget trace metrics openmetrics progress =
+    with_telemetry ~cmd:"sweep"
+      ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
+      trace metrics openmetrics
+    @@ fun () ->
+    let g = parse_graph gspec in
+    let problems = Core.Zero_round.two_label_problems () in
+    let lift_res =
+      match route with
+      | `Lift | `Both ->
+          Some (Core.Zero_round.solvable_batch ~jobs ~max_nodes:budget g problems)
+      | `Search -> None
+    in
+    let search_res =
+      match route with
+      | `Search | `Both -> Some (Core.Zero_round.search_batch ~jobs g problems)
+      | `Lift -> None
+    in
+    Format.printf "two-label 0-round sweep: %d problems on %s@."
+      (List.length problems) gspec;
+    Format.printf "  %-12s %-12s %10s %10s %6s@." "white" "black" "lift"
+      "search" "agree";
+    let solvable = ref 0 and agreements = ref 0 and compared = ref 0 in
+    List.iteri
+      (fun i p ->
+        let w = constr_label p.Problem.alphabet p.Problem.white in
+        let b = constr_label p.Problem.alphabet p.Problem.black in
+        let l = Option.map (fun r -> List.nth r i) lift_res in
+        let s = Option.map (fun r -> List.nth r i) search_res in
+        if l = Some (Some true) || (l = None && s = Some (Some true)) then
+          incr solvable;
+        let agree =
+          match (l, s) with
+          | Some l, Some s ->
+              incr compared;
+              if l = s then begin
+                incr agreements;
+                "yes"
+              end
+              else "NO"
+          | _ -> "-"
+        in
+        Format.printf "  %-12s %-12s %10s %10s %6s@." w b
+          (match l with Some v -> verdict v | None -> "-")
+          (match s with Some v -> verdict v | None -> "-")
+          agree)
+      problems;
+    Format.printf "%d/%d problems 0-round solvable@." !solvable
+      (List.length problems);
+    if !compared > 0 then begin
+      Format.printf "routes agree on %d/%d problems@." !agreements !compared;
+      if !agreements < !compared then begin
+        Format.eprintf
+          "sweep: the lift and search routes disagree — kernel bug@.";
+        exit 2
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Decide 0-round solvability for the whole two-label problem space \
+          on one support, optionally in parallel (--jobs)")
+    Term.(
+      const run $ graph_arg 0 $ jobs_opt $ route_opt $ budget $ trace_opt
+      $ metrics_flag $ openmetrics_opt $ progress_flag)
 
 (* ------------------------------------------------------------------ *)
 (* Static analysis: lint and audit.  Exit-code contract (documented in
@@ -1191,6 +1322,7 @@ let () =
             gen_cmd;
             sequence_cmd;
             stats_cmd;
+            sweep_cmd;
             runs_cmd;
             trace_cmd;
             export_cmd;

@@ -1,25 +1,32 @@
-(** Trace analysis: parse an [slocal.trace/1] JSONL trace back into a
-    span tree and compute a profile — per-span self vs. cumulative
-    time, allocation attribution, counter-delta attribution, the
-    critical path, top-k hotspot tables, the per-step provenance
-    ("derivation log") table, and folded stacks for
-    [flamegraph.pl]/speedscope.
+(** Trace analysis: parse an [slocal.trace/2] (or legacy [/1]) JSONL
+    trace back into a span tree and compute a profile — per-span self
+    vs. cumulative time, allocation attribution, counter-delta
+    attribution, critical paths, top-k hotspot tables, the per-step
+    provenance ("derivation log") table, folded stacks for
+    [flamegraph.pl]/speedscope, and the multi-domain parallelism
+    timeline (per-domain lanes, concurrent-busy-domains histogram,
+    utilization, serial fraction).
 
     This is the read side of the observability stack: the CLI exposes
     it as [slocal trace report FILE] with human, [--json] (schema
-    [slocal.profile/1]) and [--folded] output.
+    [slocal.profile/1]), [--folded], and [--timeline] output.
 
     Damaged input degrades gracefully: unparsable lines are skipped
     and counted ({!Slocal_obs.Trace}), and spans whose close event is
     missing (a process killed mid-run) are closed synthetically at the
-    trace's last timestamp and flagged. *)
+    trace's last timestamp and flagged.  Legacy [/1] traces parse with
+    every event on domain [0], so all the per-domain machinery
+    degrades to a single lane. *)
 
 val profile_schema_version : string
-(** ["slocal.profile/1"]. *)
+(** ["slocal.profile/1"].  The ["domains"] and ["timeline"] fields of
+    the JSON document are additive (introduced with [slocal.trace/2]
+    inputs); consumers of [/1] documents ignore them. *)
 
 type span = {
   id : int;
   name : string;
+  domain : int;  (** Runtime domain id that recorded the span. *)
   t0 : int64;
   mutable t1 : int64;
   mutable alloc_b : int;
@@ -41,15 +48,19 @@ type t = {
   event_count : int;
   skipped_lines : int;
   schema : string option;
+  domains : int list;
+      (** Distinct domain ids that recorded span events, ascending.
+          [[0]] (or [[]]) for a sequential or legacy trace. *)
   t_min : int64;
   t_max : int64;
   messages : (int64 * string) list;
   final_counters : (string * int) list;
   attribution : (string * (string * int) list) list;
       (** Counter deltas between consecutive [counters] snapshots,
-          charged to the span that was innermost-open at the later
-          snapshot (["(toplevel)"] outside all spans) and summed per
-          span name.  The trace carries no metric kinds, so gauges
+          charged to the span that was innermost-open {e on the
+          snapshot's own domain} at the later snapshot
+          (["(toplevel)"] outside all spans) and summed per span
+          name.  The trace carries no metric kinds, so gauges
           subtract like counters here; the unmodified final snapshot
           is in [final_counters]. *)
   provenance : provenance_step list;  (** In trace order. *)
@@ -57,6 +68,10 @@ type t = {
 }
 
 val of_events : ?skipped:int -> Slocal_obs.Telemetry.event list -> t
+(** Span nesting is tracked with one open stack per domain, so
+    interleaved events from concurrent workers reconstruct each
+    domain's own span tree. *)
+
 val of_read_result : Slocal_obs.Trace.read_result -> t
 val of_file : string -> t
 (** @raise Sys_error when the file cannot be opened. *)
@@ -72,7 +87,9 @@ val self_ns : span -> int
     root's cumulative time. *)
 
 val total_wall_ns : t -> int
-(** Sum of the root spans' cumulative times. *)
+(** Sum of the root spans' cumulative times.  On a multi-domain trace
+    concurrent roots overlap, so this is domain-time, not elapsed
+    time; see {!timeline} for the elapsed window. *)
 
 val total_self_ns : t -> int
 (** Sum of every span's self time; equals {!total_wall_ns} on
@@ -89,14 +106,49 @@ type total = {
   max_ns : int;
 }
 
-val totals : t -> total list
-(** Per-span-name aggregates, descending by total self time.  Note
-    [cum_ns] double-counts recursive occurrences of a name; self times
-    are always disjoint. *)
+val totals : ?domain:int -> t -> total list
+(** Per-span-name aggregates, descending by total self time,
+    optionally restricted to one domain's spans.  Note [cum_ns]
+    double-counts recursive occurrences of a name; self times are
+    always disjoint. *)
 
-val critical_path : t -> span list
+val critical_path : ?domain:int -> t -> span list
 (** Root-to-leaf chain following the heaviest child at each level,
-    starting from the heaviest root; [[]] for an empty trace. *)
+    starting from the heaviest root (of the given domain, when
+    [domain] is passed); [[]] for an empty trace. *)
+
+(** {1 Parallelism timeline} *)
+
+type lane = {
+  lane_domain : int;
+  lane_spans : int;  (** Spans recorded by this domain. *)
+  lane_busy_ns : int;
+      (** Time this domain had at least one root span open (union of
+          its root-span intervals). *)
+}
+
+type timeline = {
+  tl_wall_ns : int;
+      (** Elapsed trace window ([t_max - t_min]), the denominator for
+          utilization. *)
+  tl_lanes : lane list;  (** One per domain with spans, ascending. *)
+  tl_busy_hist : (int * int) list;
+      (** [(k, ns)]: time during which exactly [k] domains were busy,
+          for every level [0..max]. *)
+  tl_max_concurrency : int;
+  tl_utilization : float;
+      (** Busy domain-time over [wall × lanes], in [0, 1]. *)
+  tl_serial_fraction : float;
+      (** Fraction of the window with at most one busy domain — an
+          Amdahl-style serial-part estimate. *)
+}
+
+val timeline : t -> timeline
+
+val pp_timeline : Format.formatter -> t -> unit
+(** The [--timeline] report: window summary, per-domain lanes,
+    concurrent-busy-domains histogram, utilization and serial
+    fraction, and each lane's critical path. *)
 
 (** {1 Folded stacks} *)
 
@@ -115,7 +167,10 @@ val parse_folded : string -> (string * int) list
 (** {1 Rendering} *)
 
 val to_json : source:string -> t -> Slocal_obs.Json.t
-(** The [slocal.profile/1] document (see DESIGN.md §6). *)
+(** The [slocal.profile/1] document (see DESIGN.md §6), including the
+    additive ["domains"] and ["timeline"] fields (fractions as
+    parts-per-million integers, so the document stays exact under a
+    JSON round-trip). *)
 
 val pp : ?top:int -> Format.formatter -> t -> unit
 (** The human report: summary line, hotspot table (top [top] rows,

@@ -3,7 +3,9 @@ open Slocal_formalism
 open Slocal_model
 module Bitset = Slocal_util.Bitset
 module Combinat = Slocal_util.Combinat
+module Multiset = Slocal_util.Multiset
 module Telemetry = Slocal_obs.Telemetry
+module Pool = Slocal_obs.Pool
 
 let biregular_arities support =
   let whites = Bipartite.whites support and blacks = Bipartite.blacks support in
@@ -38,6 +40,48 @@ let lift_of_hypergraph h problem =
 let solvable_non_bipartite ?max_nodes h problem =
   let l = lift_of_hypergraph h problem in
   Solver.solvable ?max_nodes (Hypergraph.incidence h) l.Lift.problem
+
+(* ------------------------------------------------------------------ *)
+(* Batch decision over independent instances — the pilot parallel
+   workload.  Each problem (with its on-demand constraint memo tables)
+   belongs to exactly one task, and the support graph is immutable, so
+   the tasks share no mutable state and a pool fan-out is safe; the
+   pool writes results into index-addressed slots, making the output
+   byte-identical to the sequential [jobs = 1] run. *)
+
+let two_label_problems () =
+  (* The 49-problem two-label sweep space: every pair of nonempty
+     subsets of the three arity-2 multisets over {A, B}. *)
+  let configs =
+    [ Multiset.of_list [ 0; 0 ]; Multiset.of_list [ 0; 1 ]; Multiset.of_list [ 1; 1 ] ]
+  in
+  let nonempty_subsets =
+    List.filter
+      (fun s -> s <> [])
+      (List.concat_map (fun k -> Combinat.subsets_of_size k configs) [ 1; 2; 3 ])
+  in
+  let alphabet = Alphabet.of_names [ "A"; "B" ] in
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun b ->
+          Problem.make ~name:"sweep" ~alphabet
+            ~white:(Constr.make ~arity:2 w)
+            ~black:(Constr.make ~arity:2 b))
+        nonempty_subsets)
+    nonempty_subsets
+
+let solvable_batch ?(jobs = 1) ?max_nodes support problems =
+  Telemetry.span "zero_round.solvable_batch" @@ fun () ->
+  Pool.map ~jobs (fun p -> solvable ?max_nodes support p) problems
+
+let search_batch ?(jobs = 1) ?max_assignments support problems =
+  Telemetry.span "zero_round.search_batch" @@ fun () ->
+  Pool.map ~jobs
+    (fun p ->
+      Zero_round_search.exists_algorithm ?max_assignments support p
+        ~d_in_white:(Problem.d_white p) ~d_in_black:(Problem.d_black p))
+    problems
 
 (* A choice of one base label per edge whose multiset lies in the white
    constraint, if any. *)

@@ -1,0 +1,39 @@
+(** A Domainslib-style work pool on the OCaml 5 stdlib ([Domain],
+    [Atomic]) for embarrassingly parallel fan-outs — the pilot
+    consumer is the per-instance zero-round search batch
+    ({!Slocal_core.Zero_round}).
+
+    Tasks are claimed from a shared atomic index and results written
+    into index-addressed slots, so {!run} and {!map} return results
+    {e byte-identical} to a sequential run whatever the schedule.
+    [jobs <= 1] (the default CLI path) runs inline in the calling
+    domain with no spawns.
+
+    Accounting, exported through OpenMetrics and the run ledger
+    (DESIGN.md §6):
+    - [par.tasks_submitted], [par.tasks_completed] — tasks handed to /
+      finished by the pool;
+    - [par.tasks_stolen] — tasks executed by a spawned (non-primary)
+      domain;
+    - [par.merges] — worker shards merged at join points;
+    - [par.jobs] — gauge: width of the last parallel run.
+
+    While a trace sink is installed, each worker wraps its claiming
+    loop in a [par.worker] span — so a [--jobs N] trace carries at
+    least [N] distinct domain ids — and flushes its trace buffer
+    before it is joined, making the join an exact telemetry merge
+    point. *)
+
+val run : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] evaluates [f i] for [0 <= i < n] on [min jobs n]
+    domains (the caller plus spawned workers) and returns the results
+    in index order.  Tasks must be independent: they may not share
+    mutable state (in particular, a [Problem.t] with its on-demand
+    constraint memos must belong to exactly one task).  If a task
+    raises, the remaining tasks still run and the first exception is
+    re-raised after all workers are joined.
+    @raise Invalid_argument on a negative [n]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f l] is {!run} over the elements of [l], preserving
+    order. *)

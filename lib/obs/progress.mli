@@ -6,7 +6,12 @@
     current command in with {!set_mode} — [Auto] for "on when stderr
     is a TTY" (the interactive default of the kernel-facing
     subcommands), [Forced] for the [--progress] flag, which emits even
-    when redirected (CI smoke, piped runs). *)
+    when redirected (CI smoke, piped runs).
+
+    Safe under domains: all heartbeat sources throttle through one
+    atomic last-emit timestamp, the CAS winner writes its whole line
+    with a single channel operation (no interleaved partial lines),
+    and every suppressed tick counts into [progress.dropped]. *)
 
 type mode =
   | Off  (** Never emit (library default; tests and bench). *)
@@ -26,13 +31,15 @@ val set_interval_ns : int64 -> unit
 
 val start : ?total:int -> string -> unit
 (** Begin a labelled phase (e.g. [sequence.iterate_re]); [total] is
-    the step budget used for the ETA.  No-op when inactive. *)
+    the step budget used for the ETA.  No-op when inactive.  Phases
+    are a coordinating-domain protocol: call {!start}/{!finish} from
+    one domain. *)
 
 val tick : ?step:int -> ?info:string -> unit -> unit
 (** Heartbeat from inside the phase: step index (1-based, for the
     [k/n] position and ETA) and a free-form info suffix (cache
     hit-rate, label counts).  Throttled; the first tick of a phase
-    always emits. *)
+    always emits; a suppressed tick counts into [progress.dropped]. *)
 
 val finish : unit -> unit
 (** End the current phase (later {!tick}s are no-ops until the next
@@ -40,12 +47,17 @@ val finish : unit -> unit
 
 val solver_tick : nodes:int -> unit
 (** Heartbeat from the solver's search loop with the cumulative node
-    count of the current solve; emits a nodes/s rate line.  Keeps its
-    own throttle state so it needs no start/finish protocol; a node
+    count of the current solve; emits a nodes/s rate line.  Rate
+    state is domain-local (concurrent solves each report their own
+    nodes/s); emission rights go through the shared throttle.  A node
     count lower than the previous one is treated as a new solve. *)
 
 val heartbeat_count : unit -> int
 (** Total heartbeat lines emitted ([progress.heartbeats] counter). *)
 
+val dropped_count : unit -> int
+(** Total suppressed ticks ([progress.dropped] counter): would-be
+    heartbeats that lost the throttle window or the CAS race. *)
+
 val reset : unit -> unit
-(** Forget phase and solver state (tests). *)
+(** Forget phase and solver state and re-arm the throttle (tests). *)

@@ -1,61 +1,55 @@
-let trace_schema_version = "slocal.trace/1"
+let trace_schema_version = "slocal.trace/2"
 let now_ns = Monotonic_clock.now
+let self_domain () = (Domain.self () :> int)
 
 (* ------------------------------------------------------------------ *)
-(* Metrics *)
+(* Metric handles.
+
+   A metric is an interned (name, kind, slot) triple; the slot indexes
+   into a per-domain value array, so the hot-path write is a DLS fetch
+   plus an array store and never contends with other domains.  The
+   interning registry itself is the only cross-domain table and every
+   access takes [intern_mu]. *)
 
 type metric_kind = Counter | Gauge
-(* staticcheck: shared-cache-needs-lock metric stores are written from kernel hot paths; m_value must become Atomic under domains *)
-type metric = { m_name : string; m_kind : metric_kind; mutable m_value : int }
+type metric = { m_name : string; m_kind : metric_kind; m_slot : int }
 
-(* staticcheck: shared-cache-needs-lock global interning registry; registration must be locked (reads after init are safe) *)
+let intern_mu = Mutex.create ()
+
+(* staticcheck: domain-safe interning registry; every access takes intern_mu *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let slot_count = ref 0 (* staticcheck: domain-safe next metric slot; guarded by intern_mu *)
 
 let register m_name m_kind =
-  match Hashtbl.find_opt registry m_name with
-  | Some m -> m
-  | None ->
-      let m = { m_name; m_kind; m_value = 0 } in
-      Hashtbl.add registry m_name m;
-      m
+  Mutex.lock intern_mu;
+  let m =
+    match Hashtbl.find_opt registry m_name with
+    | Some m -> m
+    | None ->
+        let m = { m_name; m_kind; m_slot = !slot_count } in
+        Stdlib.incr slot_count;
+        Hashtbl.add registry m_name m;
+        m
+  in
+  Mutex.unlock intern_mu;
+  m
 
 let counter name = register name Counter
 let gauge name = register name Gauge
-let incr m = m.m_value <- m.m_value + 1
-let add m n = m.m_value <- m.m_value + n
-let set m v = m.m_value <- v
-let value m = m.m_value
 let kind m = m.m_kind
 let name m = m.m_name
 
-let snapshot () =
-  Hashtbl.fold (fun _ m acc -> (m.m_name, m.m_value) :: acc) registry []
-  |> List.sort compare
+let metrics_list () =
+  Mutex.lock intern_mu;
+  let l = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock intern_mu;
+  List.sort (fun a b -> compare a.m_name b.m_name) l
 
-let kinds_snapshot () =
-  Hashtbl.fold
-    (fun _ m acc -> (m.m_name, m.m_kind, m.m_value) :: acc)
-    registry []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
-
-let nonzero_snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot ())
-
-let delta ~before ~after =
-  List.filter_map
-    (fun (nm, av) ->
-      let k =
-        match Hashtbl.find_opt registry nm with
-        | Some m -> m.m_kind
-        | None -> Counter
-      in
-      let v =
-        match k with
-        | Gauge -> av
-        | Counter ->
-            av - Option.value (List.assoc_opt nm before) ~default:0
-      in
-      if v <> 0 then Some (nm, v) else None)
-    after
+let kind_of_name nm =
+  Mutex.lock intern_mu;
+  let k = Option.map (fun m -> m.m_kind) (Hashtbl.find_opt registry nm) in
+  Mutex.unlock intern_mu;
+  k
 
 (* ------------------------------------------------------------------ *)
 (* Histograms *)
@@ -67,7 +61,7 @@ module Histogram = struct
      and quantile estimates clamp to the observed range. *)
   let bucket_count = 64
 
-  (* staticcheck: shared-cache-needs-lock registered histograms are recorded into by kernels; needs per-domain split + merge *)
+  (* staticcheck: per-call every histogram instance lives in one domain's shard; cross-domain reads only at quiescent merge points *)
   type t = {
     mutable h_count : int;
     mutable h_sum : int;
@@ -191,33 +185,165 @@ module Histogram = struct
     h
 end
 
-(* staticcheck: shared-cache-needs-lock global interning registry, same discipline as [registry] *)
-let hist_registry : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+(* ------------------------------------------------------------------ *)
+(* Per-domain shards.
+
+   Every domain that records telemetry lazily creates one shard
+   (Domain.DLS) holding its metric cells, histogram instances, span
+   stack and pending sink bytes, and registers it in the global
+   atomic shard list.  Shards are only ever *written* by their owning
+   domain; cross-domain reads happen at merge points — snapshots,
+   pool joins, process exit — and are exact when the writers are
+   quiescent (joined workers, single-domain runs).  Mid-run reads of
+   metric cells are plain int-array loads: memory-safe, possibly a
+   few increments stale.  The shard list itself is append-only, so a
+   shard's counts keep contributing to process totals after its
+   domain terminates. *)
+
+(* staticcheck: per-call one shard per domain, written only by its owner; cross-domain reads at quiescent merge points *)
+type shard = {
+  sh_domain : int;
+  mutable sh_values : int array; (* metric slot -> value *)
+  sh_hists : (string, Histogram.t) Hashtbl.t;
+  mutable sh_spans : (int * string * int64 * float) list;
+      (* (id, name, t0, alloc_bytes0), innermost first *)
+  sh_buf : Buffer.t; (* complete JSONL lines not yet handed to the writer *)
+}
+
+let shards : shard list Atomic.t = Atomic.make [] (* staticcheck: domain-safe append-only shard list; CAS push, read-only traversal *)
+
+let new_shard () =
+  Mutex.lock intern_mu;
+  let n = max 64 !slot_count in
+  Mutex.unlock intern_mu;
+  {
+    sh_domain = self_domain ();
+    sh_values = Array.make n 0;
+    sh_hists = Hashtbl.create 16;
+    sh_spans = [];
+    sh_buf = Buffer.create 256;
+  }
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_shard () in
+      let rec push () =
+        let cur = Atomic.get shards in
+        if not (Atomic.compare_and_set shards cur (s :: cur)) then push ()
+      in
+      push ();
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let all_shards () =
+  List.sort (fun a b -> compare a.sh_domain b.sh_domain) (Atomic.get shards)
+
+(* Only the owning domain grows its value array (a newly registered
+   slot); a concurrent reader sees either array, reading 0 for slots
+   past the old length. *)
+let cell_shard slot =
+  let s = my_shard () in
+  let n = Array.length s.sh_values in
+  if slot >= n then begin
+    let bigger = Array.make (max (2 * n) (slot + 1)) 0 in
+    Array.blit s.sh_values 0 bigger 0 n;
+    s.sh_values <- bigger
+  end;
+  s
+
+let incr m =
+  let s = cell_shard m.m_slot in
+  s.sh_values.(m.m_slot) <- s.sh_values.(m.m_slot) + 1
+
+let add m n =
+  let s = cell_shard m.m_slot in
+  s.sh_values.(m.m_slot) <- s.sh_values.(m.m_slot) + n
+
+let set m v =
+  let s = cell_shard m.m_slot in
+  s.sh_values.(m.m_slot) <- v
+
+let shard_value s slot =
+  let values = s.sh_values in
+  if slot < Array.length values then values.(slot) else 0
+
+(* The deterministic associative merge: counters sum across shards;
+   gauges take the maximum (they are sizes and totals here, 0 when a
+   shard never set them).  Both operations are associative and
+   commutative, so the merged value is independent of shard order. *)
+let merged_value m_kind slot =
+  let shards = Atomic.get shards in
+  match m_kind with
+  | Counter -> List.fold_left (fun acc s -> acc + shard_value s slot) 0 shards
+  | Gauge -> List.fold_left (fun acc s -> max acc (shard_value s slot)) 0 shards
+
+let value m = merged_value m.m_kind m.m_slot
+
+let snapshot () =
+  List.map (fun m -> (m.m_name, merged_value m.m_kind m.m_slot)) (metrics_list ())
+  |> List.sort compare
+
+let kinds_snapshot () =
+  List.map
+    (fun m -> (m.m_name, m.m_kind, merged_value m.m_kind m.m_slot))
+    (metrics_list ())
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let nonzero_snapshot () = List.filter (fun (_, v) -> v <> 0) (snapshot ())
+
+let delta ~before ~after =
+  List.filter_map
+    (fun (nm, av) ->
+      let k = Option.value (kind_of_name nm) ~default:Counter in
+      let v =
+        match k with
+        | Gauge -> av
+        | Counter -> av - Option.value (List.assoc_opt nm before) ~default:0
+      in
+      if v <> 0 then Some (nm, v) else None)
+    after
 
 let histogram name =
-  match Hashtbl.find_opt hist_registry name with
+  let s = my_shard () in
+  match Hashtbl.find_opt s.sh_hists name with
   | Some h -> h
   | None ->
       let h = Histogram.create () in
-      Hashtbl.add hist_registry name h;
+      Hashtbl.add s.sh_hists name h;
       h
 
 let histogram_snapshot () =
-  Hashtbl.fold
-    (fun nm h acc -> if Histogram.is_empty h then acc else (nm, h) :: acc)
-    hist_registry []
+  let tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun nm h ->
+          if not (Histogram.is_empty h) then
+            match Hashtbl.find_opt tbl nm with
+            | None -> Hashtbl.add tbl nm (Histogram.copy h)
+            | Some m -> Hashtbl.replace tbl nm (Histogram.merge m h))
+        s.sh_hists)
+    (all_shards ());
+  Hashtbl.fold (fun nm h acc -> (nm, h) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset_metrics () =
-  (* staticcheck: domain-safe order-insensitive: every metric is reset independently *)
-  Hashtbl.iter (fun _ m -> m.m_value <- 0) registry;
-  (* staticcheck: domain-safe order-insensitive: every histogram is reset independently *)
-  Hashtbl.iter (fun _ h -> Histogram.reset h) hist_registry
+  (* Quiescent-only (tests, harness boundaries): zero every shard's
+     cells and histograms, whoever owns them. *)
+  List.iter
+    (fun s ->
+      Array.fill s.sh_values 0 (Array.length s.sh_values) 0;
+      (* staticcheck: domain-safe order-insensitive: every histogram is reset independently *)
+      Hashtbl.iter (fun _ h -> Histogram.reset h) s.sh_hists)
+    (all_shards ())
 
 (* ------------------------------------------------------------------ *)
 (* GC gauges.  Sampled only while a sink is installed (span
    boundaries) or on explicit request, so the null-sink fast path
-   never calls [Gc.quick_stat]. *)
+   never calls [Gc.quick_stat].  Under OCaml 5 the sample describes
+   the calling domain; the merged gauge reports the per-domain
+   maximum. *)
 
 let g_gc_minor = gauge "gc.minor_collections"
 let g_gc_major = gauge "gc.major_collections"
@@ -239,47 +365,102 @@ let sample_gc () =
 (* Events and sinks *)
 
 type event =
-  | Trace_start of { t_ns : int64 }
-  | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
+  | Trace_start of { t_ns : int64; domain : int }
+  | Span_open of {
+      id : int;
+      parent : int option;
+      name : string;
+      t_ns : int64;
+      domain : int;
+    }
   | Span_close of {
       id : int;
       name : string;
       t_ns : int64;
       dur_ns : int64;
       alloc_b : int;
+      domain : int;
     }
-  | Counters of { t_ns : int64; values : (string * int) list }
-  | Histograms of { t_ns : int64; values : (string * Histogram.t) list }
+  | Counters of { t_ns : int64; domain : int; values : (string * int) list }
+  | Histograms of {
+      t_ns : int64;
+      domain : int;
+      values : (string * Histogram.t) list;
+    }
   | Provenance of {
       t_ns : int64;
+      domain : int;
       step : int;
       label : string;
       values : (string * int) list;
     }
-  | Message of { t_ns : int64; text : string }
+  | Message of { t_ns : int64; domain : int; text : string }
 
-type sink = Null | Emit of { emit : event -> unit; flush : unit -> unit }
+let event_domain = function
+  | Trace_start { domain; _ }
+  | Span_open { domain; _ }
+  | Span_close { domain; _ }
+  | Counters { domain; _ }
+  | Histograms { domain; _ }
+  | Provenance { domain; _ }
+  | Message { domain; _ } ->
+      domain
+
+type sink =
+  | Null
+  | Emit of {
+      emit : event -> unit;
+      flush : unit -> unit;
+      flush_local : unit -> unit;
+          (* hand the calling domain's buffered bytes to the writer *)
+    }
 
 let null_sink = Null
-let collector_sink f = Emit { emit = f; flush = ignore }
-let current = ref Null (* staticcheck: immutable-after-init sink installed by the CLI before kernels run; single writer *)
-let enabled () = match !current with Null -> false | Emit _ -> true
-let emit ev = match !current with Null -> () | Emit e -> e.emit ev
 
-let set_sink s =
-  current := s;
-  match s with Null -> () | Emit e -> e.emit (Trace_start { t_ns = now_ns () })
+let collector_sink f =
+  (* Callbacks run on the emitting domain; serialize them so test
+     collectors can use plain lists. *)
+  let mu = Mutex.create () in
+  Emit
+    {
+      emit =
+        (fun ev ->
+          Mutex.lock mu;
+          Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> f ev));
+      flush = ignore;
+      flush_local = ignore;
+    }
+
+let current = Atomic.make Null (* staticcheck: domain-safe sink slot; atomic swap on install, read-only on the emit path *)
+let enabled () = match Atomic.get current with Null -> false | Emit _ -> true
+let emit ev = match Atomic.get current with Null -> () | Emit e -> e.emit ev
 
 (* Flushing must be an idempotent no-op whatever state the sink is in:
    the at_exit safety net below can run after a CLI wrapper already
    flushed and closed the underlying channel, and a double flush must
-   not duplicate or truncate the trailing record.  Sinks themselves
-   never buffer partial lines (jsonl_sink flushes per event), so
-   swallowing a [Sys_error] from a closed channel loses nothing. *)
+   not duplicate or truncate the trailing record.  Buffers hold only
+   complete lines, so a swallowed [Sys_error] from a closed channel
+   can never leave a partial record behind.  Draining *other* domains'
+   buffers is exact only when those domains are quiescent (pool join,
+   process exit) — live domains flush their own buffers. *)
 let flush_sink () =
-  match !current with
+  match Atomic.get current with
   | Null -> ()
   | Emit e -> ( try e.flush () with _ -> ())
+
+let flush_local () =
+  match Atomic.get current with
+  | Null -> ()
+  | Emit e -> ( try e.flush_local () with _ -> ())
+
+let set_sink s =
+  (* Drain the outgoing sink first so buffered events reach their own
+     trace, not the next one's channel. *)
+  flush_sink ();
+  Atomic.set current s;
+  match s with
+  | Null -> ()
+  | Emit e -> e.emit (Trace_start { t_ns = now_ns (); domain = self_domain () })
 
 (* Safety net: if the process exits (node-budget abort, uncaught
    exception, plain [exit]) while a sink is still installed, push any
@@ -291,55 +472,68 @@ let () = at_exit flush_sink (* staticcheck: domain-safe registered once at modul
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
-(* (id, name, t0, alloc_bytes0), innermost first.  Only touched when a
-   sink is installed, so the null-sink fast path never allocates. *)
-let span_stack : (int * string * int64 * float) list ref = ref [] (* staticcheck: per-call span nesting is a per-domain notion; must become domain-local *)
-let next_id = ref 0 (* staticcheck: shared-cache-needs-lock global span-id allocator; must become Atomic under domains *)
+let next_id = Atomic.make 0 (* staticcheck: domain-safe span-id allocator; fetch_and_add gives process-unique ids *)
+let c_sink_flushes = counter "par.sink_flushes"
 
 let span nm f =
-  match !current with
+  match Atomic.get current with
   | Null -> f ()
   | Emit _ ->
-      let id = !next_id in
-      next_id := id + 1;
+      let s = my_shard () in
+      let id = Atomic.fetch_and_add next_id 1 in
       sample_gc ();
       let a0 = Gc.allocated_bytes () in
       let t0 = now_ns () in
       let parent =
-        match !span_stack with [] -> None | (pid, _, _, _) :: _ -> Some pid
+        match s.sh_spans with [] -> None | (pid, _, _, _) :: _ -> Some pid
       in
-      emit (Span_open { id; parent; name = nm; t_ns = t0 });
-      span_stack := (id, nm, t0, a0) :: !span_stack;
+      emit (Span_open { id; parent; name = nm; t_ns = t0; domain = s.sh_domain });
+      s.sh_spans <- (id, nm, t0, a0) :: s.sh_spans;
       let finish () =
-        (match !span_stack with
-        | (id', _, _, _) :: rest when id' = id -> span_stack := rest
+        (match s.sh_spans with
+        | (id', _, _, _) :: rest when id' = id -> s.sh_spans <- rest
         | _ -> ());
         let t1 = now_ns () in
         let dur_ns = Int64.sub t1 t0 in
         let alloc_b = int_of_float (Gc.allocated_bytes () -. a0) in
         sample_gc ();
         Histogram.record (histogram ("span." ^ nm)) (Int64.to_int dur_ns);
-        emit (Span_close { id; name = nm; t_ns = t1; dur_ns; alloc_b })
+        emit
+          (Span_close
+             { id; name = nm; t_ns = t1; dur_ns; alloc_b; domain = s.sh_domain });
+        (* A top-level close is a natural crash-consistency point:
+           hand this domain's buffered lines to the writer. *)
+        if s.sh_spans = [] then flush_local ()
       in
       Fun.protect ~finally:finish f
 
 let emit_counters () =
   if enabled () then
-    emit (Counters { t_ns = now_ns (); values = nonzero_snapshot () })
+    emit
+      (Counters
+         {
+           t_ns = now_ns ();
+           domain = self_domain ();
+           values = nonzero_snapshot ();
+         })
 
 let emit_histograms () =
   if enabled () then begin
     match histogram_snapshot () with
     | [] -> ()
     | values ->
-        let values = List.map (fun (nm, h) -> (nm, Histogram.copy h)) values in
-        emit (Histograms { t_ns = now_ns (); values })
+        emit (Histograms { t_ns = now_ns (); domain = self_domain (); values })
   end
 
 let provenance ~step ~label values =
-  if enabled () then emit (Provenance { t_ns = now_ns (); step; label; values })
+  if enabled () then
+    emit
+      (Provenance
+         { t_ns = now_ns (); domain = self_domain (); step; label; values })
 
-let message text = if enabled () then emit (Message { t_ns = now_ns (); text })
+let message text =
+  if enabled () then
+    emit (Message { t_ns = now_ns (); domain = self_domain (); text })
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
@@ -390,15 +584,17 @@ let histogram_of_json j =
 
 let event_to_json ev : Json.t =
   let t ns = ("t_ns", Json.Int (Int64.to_int ns)) in
+  let d domain = ("domain", Json.Int domain) in
   match ev with
-  | Trace_start { t_ns } ->
+  | Trace_start { t_ns; domain } ->
       Json.Obj
         [
           ("schema", Json.String trace_schema_version);
           ("kind", Json.String "trace_start");
           t t_ns;
+          d domain;
         ]
-  | Span_open { id; parent; name; t_ns } ->
+  | Span_open { id; parent; name; t_ns; domain } ->
       Json.Obj
         [
           ("kind", Json.String "span_open");
@@ -407,8 +603,9 @@ let event_to_json ev : Json.t =
             match parent with None -> Json.Null | Some p -> Json.Int p );
           ("name", Json.String name);
           t t_ns;
+          d domain;
         ]
-  | Span_close { id; name; t_ns; dur_ns; alloc_b } ->
+  | Span_close { id; name; t_ns; dur_ns; alloc_b; domain } ->
       Json.Obj
         [
           ("kind", Json.String "span_close");
@@ -417,54 +614,86 @@ let event_to_json ev : Json.t =
           t t_ns;
           ("dur_ns", Json.Int (Int64.to_int dur_ns));
           ("alloc_b", Json.Int alloc_b);
+          d domain;
         ]
-  | Counters { t_ns; values } ->
+  | Counters { t_ns; domain; values } ->
       Json.Obj
         [
           ("kind", Json.String "counters");
           t t_ns;
+          d domain;
           ( "values",
             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
         ]
-  | Histograms { t_ns; values } ->
+  | Histograms { t_ns; domain; values } ->
       Json.Obj
         [
           ("kind", Json.String "histograms");
           t t_ns;
+          d domain;
           ( "values",
             Json.Obj (List.map (fun (k, h) -> (k, histogram_to_json h)) values)
           );
         ]
-  | Provenance { t_ns; step; label; values } ->
+  | Provenance { t_ns; domain; step; label; values } ->
       Json.Obj
         [
           ("kind", Json.String "provenance");
           t t_ns;
+          d domain;
           ("step", Json.Int step);
           ("label", Json.String label);
           ( "values",
             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
         ]
-  | Message { t_ns; text } ->
+  | Message { t_ns; domain; text } ->
       Json.Obj
-        [ ("kind", Json.String "message"); t t_ns; ("text", Json.String text) ]
+        [
+          ("kind", Json.String "message");
+          t t_ns;
+          d domain;
+          ("text", Json.String text);
+        ]
+
+(* How many pending bytes a domain accumulates before handing them to
+   the writer on its own: large enough to amortize the lock, small
+   enough that a killed run loses at most a few KB per domain. *)
+let flush_threshold = 8192
 
 let jsonl_sink oc =
-  (* Both operations tolerate a closed channel: a CLI teardown path
-     may close [oc] before the module-level [at_exit] flush runs, and
-     emits raced against teardown must not crash the instrumented
-     code.  Each successful emit is a complete flushed line, so a
-     swallowed [Sys_error] can never leave a partial record behind. *)
+  (* One mutex-guarded writer; every domain renders into its own
+     shard buffer and only contends when handing over a full buffer.
+     Both channel operations tolerate a closed channel: a CLI teardown
+     path may close [oc] before the module-level [at_exit] flush runs,
+     and emits raced against teardown must not crash the instrumented
+     code.  Buffers hold only complete lines, so a swallowed
+     [Sys_error] can never leave a partial record behind. *)
+  let mu = Mutex.create () in
+  let write_buf b =
+    if Buffer.length b > 0 then begin
+      Mutex.lock mu;
+      (try
+         Buffer.output_buffer oc b;
+         flush oc
+       with Sys_error _ -> ());
+      Buffer.clear b;
+      Mutex.unlock mu;
+      incr c_sink_flushes
+    end
+  in
   Emit
     {
       emit =
         (fun ev ->
-          try
-            output_string oc (Json.to_string (event_to_json ev));
-            output_char oc '\n';
-            flush oc
-          with Sys_error _ -> ());
-      flush = (fun () -> try flush oc with Sys_error _ -> ());
+          let s = my_shard () in
+          Buffer.add_string s.sh_buf (Json.to_string (event_to_json ev));
+          Buffer.add_char s.sh_buf '\n';
+          if Buffer.length s.sh_buf >= flush_threshold then write_buf s.sh_buf);
+      flush =
+        (fun () ->
+          List.iter (fun s -> write_buf s.sh_buf) (all_shards ());
+          try flush oc with Sys_error _ -> ());
+      flush_local = (fun () -> write_buf (my_shard ()).sh_buf);
     }
 
 let pp_duration fmt ns =
@@ -475,13 +704,23 @@ let pp_duration fmt ns =
   else Format.fprintf fmt "%Ldns" ns
 
 let stderr_sink () =
+  (* Human-facing live tree; a mutex keeps concurrent emits whole.
+     With several domains the indentation interleaves lanes — the
+     [domain] tag on the trace events is the faithful record. *)
+  let mu = Mutex.create () in
   let depth = ref 0 in
   let indent () = String.make (2 * !depth) ' ' in
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
   Emit
     {
       flush = (fun () -> Printf.eprintf "%!");
+      flush_local = ignore;
       emit =
         (fun ev ->
+          locked @@ fun () ->
           match ev with
           | Trace_start _ -> Printf.eprintf "[obs] trace start\n%!"
           | Span_open { name; _ } ->
@@ -523,9 +762,7 @@ let pp_summary fmt () =
     List.iter
       (fun (k, v) ->
         let suffix =
-          match Hashtbl.find_opt registry k with
-          | Some { m_kind = Gauge; _ } -> "  (gauge)"
-          | _ -> ""
+          match kind_of_name k with Some Gauge -> "  (gauge)" | _ -> ""
         in
         Format.fprintf fmt "  %-36s %12d%s@." k v suffix)
       values

@@ -1,26 +1,38 @@
 (** Structured telemetry: monotonic-clock spans, named counters,
-    gauges and histograms, and pluggable sinks.
+    gauges and histograms, and pluggable sinks — recorded into
+    per-domain shards so instrumented kernels can run under OCaml 5
+    domains without locks on the hot path.
 
     The expensive kernels of this repository — the backtracking solver,
     the RE operator, the lift construction, the exhaustive zero-round
     search, graph generation — are instrumented with {e metrics}
-    (always-on, one integer store each) and {e spans} (emitted only
+    (always-on, one array store each) and {e spans} (emitted only
     when a sink is installed).  The default sink is {!null_sink}:
     spans reduce to a single branch and a direct call of the wrapped
     thunk, so the instrumented hot paths pay nothing measurable —
     histogram recording and GC sampling happen only inside the
     sink-installed branch.
 
+    {b Domain model} (DESIGN.md §9).  Every domain that records
+    telemetry lazily owns one {e shard} ([Domain.DLS]): its metric
+    cells, histogram instances, span stack and pending sink bytes.
+    Shards register themselves in an append-only atomic list; reads
+    ({!value}, {!snapshot}, {!histogram_snapshot}) merge across shards
+    with a deterministic associative merge — counters sum, gauges take
+    the per-domain maximum, histograms merge pointwise.  Merged reads
+    are exact at {e quiescent} points (after a pool join, at process
+    exit, in single-domain runs) and may lag live writers by a few
+    increments mid-run.  Span ids are allocated from one atomic
+    counter, so they are unique across domains, and every {!event}
+    carries the recording domain's id.
+
     Sinks receive a stream of {!event} values:
 
     - {!stderr_sink} renders an indented live span tree to stderr;
     - {!jsonl_sink} writes one JSON object per line (the
-      [slocal.trace/1] schema, documented in DESIGN.md);
-    - {!collector_sink} hands events to a callback (used by tests).
-
-    The module is deliberately single-threaded (like the rest of the
-    repository): the span stack and the registries are plain mutable
-    state. *)
+      [slocal.trace/2] schema, documented in DESIGN.md) through one
+      mutex-guarded writer fed by per-domain buffers;
+    - {!collector_sink} hands events to a callback (used by tests). *)
 
 (** {1 Metrics} *)
 
@@ -40,14 +52,24 @@ val gauge : string -> metric
     registered, the existing metric (and its kind) wins. *)
 
 val incr : metric -> unit
+(** Add 1 to the calling domain's cell (lock-free). *)
+
 val add : metric -> int -> unit
 val set : metric -> int -> unit
+(** [set] writes the calling domain's cell.  A gauge then reports the
+    per-domain maximum when several domains set it; a counter reports
+    the cross-domain sum, so resetting a counter with [set m 0] only
+    clears the calling domain's contribution. *)
+
 val value : metric -> int
+(** Merged value across shards: counters sum, gauges take the
+    per-domain maximum.  Exact at quiescent points. *)
+
 val kind : metric -> metric_kind
 val name : metric -> string
 
 val snapshot : unit -> (string * int) list
-(** All registered metrics with their current values, sorted by name. *)
+(** All registered metrics with their merged values, sorted by name. *)
 
 val kinds_snapshot : unit -> (string * metric_kind * int) list
 (** Like {!snapshot} but carrying each metric's kind, for exporters
@@ -63,8 +85,9 @@ val delta :
     absent from [before] count from 0. *)
 
 val reset_metrics : unit -> unit
-(** Zero every registered metric and histogram (tests and long-running
-    harnesses). *)
+(** Zero every shard's metrics and histograms (tests and long-running
+    harnesses).  Call only at quiescent points — no live worker
+    domains. *)
 
 (** {1 Histograms}
 
@@ -97,7 +120,8 @@ module Histogram : sig
 
   val merge : t -> t -> t
   (** Pointwise bucket sum (fresh histogram; arguments unchanged).
-      Associative and commutative up to {!equal}. *)
+      Associative and commutative up to {!equal} — the shard merge
+      relies on exactly this. *)
 
   val equal : t -> t -> bool
 
@@ -119,14 +143,20 @@ module Histogram : sig
 end
 
 val histogram : string -> Histogram.t
-(** Intern a histogram in the global registry (same-name calls return
-    the same histogram).  Span durations are recorded automatically
-    into [span.<name>] histograms while a sink is installed. *)
+(** Intern a histogram in the {e calling domain's} shard (same-name
+    calls from the same domain return the same instance).  Span
+    durations are recorded automatically into [span.<name>] histograms
+    while a sink is installed. *)
 
 val histogram_snapshot : unit -> (string * Histogram.t) list
-(** All non-empty registered histograms, sorted by name.  The returned
-    histograms are the live registry values — {!Histogram.copy} before
-    mutating. *)
+(** All non-empty histograms merged across shards, sorted by name.
+    The returned histograms are fresh merged copies — safe to keep. *)
+
+(** {1 Domains} *)
+
+val self_domain : unit -> int
+(** The calling domain's id ([Domain.self] as an integer) — the value
+    stamped into the [domain] field of emitted events. *)
 
 (** {1 GC gauges} *)
 
@@ -135,7 +165,8 @@ val sample_gc : unit -> unit
     [major_collections], [compactions], [heap_words],
     [top_heap_words], [allocated_bytes]) from [Gc.quick_stat].  Called
     automatically at span boundaries while a sink is installed; call
-    it directly before reading a summary elsewhere. *)
+    it directly before reading a summary elsewhere.  Samples describe
+    the calling domain; merged gauges report the per-domain maximum. *)
 
 (** {1 Clock} *)
 
@@ -146,10 +177,16 @@ val now_ns : unit -> int64
 (** {1 Events and sinks} *)
 
 type event =
-  | Trace_start of { t_ns : int64 }
+  | Trace_start of { t_ns : int64; domain : int }
       (** Emitted automatically when a non-null sink is installed; the
           JSONL rendering carries the schema version. *)
-  | Span_open of { id : int; parent : int option; name : string; t_ns : int64 }
+  | Span_open of {
+      id : int;
+      parent : int option;
+      name : string;
+      t_ns : int64;
+      domain : int;
+    }
   | Span_close of {
       id : int;
       name : string;
@@ -158,64 +195,86 @@ type event =
       alloc_b : int;
           (** Bytes allocated (minor + major) while the span was open,
               from [Gc.allocated_bytes] deltas. *)
+      domain : int;
     }
-  | Counters of { t_ns : int64; values : (string * int) list }
-  | Histograms of { t_ns : int64; values : (string * Histogram.t) list }
-      (** Snapshot copies of the non-empty histograms. *)
+  | Counters of { t_ns : int64; domain : int; values : (string * int) list }
+  | Histograms of {
+      t_ns : int64;
+      domain : int;
+      values : (string * Histogram.t) list;
+    }  (** Merged snapshot copies of the non-empty histograms. *)
   | Provenance of {
       t_ns : int64;
+      domain : int;
       step : int;
       label : string;
       values : (string * int) list;
     }
       (** A derivation-log record: one per RE iteration of a
           lower-bound sequence (see {!Slocal_formalism.Sequence}). *)
-  | Message of { t_ns : int64; text : string }
+  | Message of { t_ns : int64; domain : int; text : string }
+
+val event_domain : event -> int
+(** The [domain] field, whatever the event kind. *)
 
 type sink
 
 val null_sink : sink
 val stderr_sink : unit -> sink
+
 val jsonl_sink : out_channel -> sink
-(** One JSON object per line, flushed per event so a trace file is
-    complete up to the last event even if the process exits early.
-    The caller owns (and closes) the channel.  As a safety net, a
-    module-level [at_exit] hook flushes whatever sink is still
-    installed when the process exits (budget aborts, uncaught
-    exceptions), so traces are never truncated mid-line. *)
+(** One JSON object per line.  Each domain renders into its own
+    buffer; buffers are handed to a single mutex-guarded writer when
+    they pass a size threshold, when a domain closes its outermost
+    span, on {!flush_local}, and on {!flush_sink} — so concurrent
+    domains never interleave partial lines and a trace file always
+    ends on a line boundary.  The caller owns (and closes) the
+    channel.  As a safety net, a module-level [at_exit] hook flushes
+    whatever sink is still installed when the process exits (budget
+    aborts, uncaught exceptions). *)
 
 val collector_sink : (event -> unit) -> sink
+(** Hand events to a callback, serialized by an internal mutex so a
+    test collector can append to a plain list under concurrency. *)
 
 val set_sink : sink -> unit
-(** Install a sink (replacing the current one) and, when non-null,
-    emit {!Trace_start} to it.  Install sinks outside of any open
-    span: spans opened under a previous sink close under the new one. *)
+(** Flush and replace the current sink and, when the new sink is
+    non-null, emit {!Trace_start} to it.  Install sinks outside of any
+    open span and with no live worker domains. *)
 
 val enabled : unit -> bool
 (** [true] iff the current sink is not {!null_sink}. *)
 
 val flush_sink : unit -> unit
-(** Flush the current sink.  Idempotent and total: a null sink, an
-    already-flushed sink and a sink whose channel has been closed are
-    all no-ops (never an exception, never a duplicated or truncated
-    trailing record).  The module-level [at_exit] safety net is
-    exactly this call. *)
+(** Flush the current sink, draining {e every} domain's pending
+    buffer.  Idempotent and total: a null sink, an already-flushed
+    sink and a sink whose channel has been closed are all no-ops
+    (never an exception, never a duplicated or truncated trailing
+    record).  Exact only at quiescent points; live domains should use
+    {!flush_local}.  The module-level [at_exit] safety net is exactly
+    this call. *)
+
+val flush_local : unit -> unit
+(** Hand the {e calling} domain's pending buffer to the writer (a
+    worker's last action before it is joined; see {!Pool}). *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()].  With a null sink this is just the
     call; otherwise a {!Span_open}/{!Span_close} pair brackets it
-    (closed on exceptions too), nested spans recording their parent,
-    the duration is recorded into the [span.<name>] histogram, the
-    allocation delta is attached to the close event, and the [gc.*]
-    gauges are refreshed at both boundaries. *)
+    (closed on exceptions too), nested spans recording their parent
+    {e on the same domain}, the duration is recorded into the
+    [span.<name>] histogram, the allocation delta is attached to the
+    close event, and the [gc.*] gauges are refreshed at both
+    boundaries.  Span ids are process-unique (atomic allocator). *)
 
 val emit_counters : unit -> unit
-(** Send a {!Counters} event with the non-zero metrics to the sink
-    (no-op when disabled). *)
+(** Send a {!Counters} event with the non-zero merged metrics to the
+    sink (no-op when disabled). *)
 
 val emit_histograms : unit -> unit
-(** Send a {!Histograms} event with copies of the non-empty histograms
-    (no-op when disabled or when all histograms are empty). *)
+(** Send a {!Histograms} event with merged copies of the non-empty
+    histograms (no-op when disabled or when all histograms are
+    empty). *)
 
 val provenance : step:int -> label:string -> (string * int) list -> unit
 (** Send a {!Provenance} event (no-op when disabled). *)
@@ -226,7 +285,9 @@ val message : string -> unit
 (** {1 Rendering} *)
 
 val trace_schema_version : string
-(** ["slocal.trace/1"]. *)
+(** ["slocal.trace/2"] — /1 plus a [domain] field on every event.
+    The {!Slocal_obs.Trace} reader still accepts /1 files (events
+    default to domain 0). *)
 
 val event_to_json : event -> Json.t
 (** The JSONL line for an event (see DESIGN.md for the schema). *)

@@ -1,4 +1,5 @@
-(* Read [slocal.trace/1] JSONL traces back into Telemetry events. *)
+(* Read [slocal.trace/2] (and /1) JSONL traces back into Telemetry
+   events. *)
 
 let schema_version = Telemetry.trace_schema_version
 
@@ -37,14 +38,20 @@ let int_values j k =
         (Ok []) kvs
       |> Result.map List.rev
 
+(* [domain] is the additive slocal.trace/2 field: /1 traces carry no
+   domain tag and were single-domain by construction, so default 0. *)
+let domain_field j =
+  Option.value ~default:0 (Option.bind (Json.member "domain" j) Json.as_int)
+
 let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
 
 let event_of_json j : (Telemetry.event, string) result =
   let* kind = string_field j "kind" in
+  let domain = domain_field j in
   match kind with
   | "trace_start" ->
       let* t_ns = int64_field j "t_ns" in
-      Ok (Telemetry.Trace_start { t_ns })
+      Ok (Telemetry.Trace_start { t_ns; domain })
   | "span_open" ->
       let* id = int_field j "id" in
       let* name = string_field j "name" in
@@ -54,7 +61,7 @@ let event_of_json j : (Telemetry.event, string) result =
         | Some (Json.Int p) -> Some p
         | _ -> None
       in
-      Ok (Telemetry.Span_open { id; parent; name; t_ns })
+      Ok (Telemetry.Span_open { id; parent; name; t_ns; domain })
   | "span_close" ->
       let* id = int_field j "id" in
       let* name = string_field j "name" in
@@ -66,11 +73,11 @@ let event_of_json j : (Telemetry.event, string) result =
         Option.value ~default:0
           (Option.bind (Json.member "alloc_b" j) Json.as_int)
       in
-      Ok (Telemetry.Span_close { id; name; t_ns; dur_ns; alloc_b })
+      Ok (Telemetry.Span_close { id; name; t_ns; dur_ns; alloc_b; domain })
   | "counters" ->
       let* t_ns = int64_field j "t_ns" in
       let* values = int_values j "values" in
-      Ok (Telemetry.Counters { t_ns; values })
+      Ok (Telemetry.Counters { t_ns; domain; values })
   | "histograms" ->
       let* t_ns = int64_field j "t_ns" in
       let* kvs =
@@ -86,17 +93,17 @@ let event_of_json j : (Telemetry.event, string) result =
             Ok ((nm, h) :: acc))
           (Ok []) kvs
       in
-      Ok (Telemetry.Histograms { t_ns; values = List.rev values })
+      Ok (Telemetry.Histograms { t_ns; domain; values = List.rev values })
   | "provenance" ->
       let* t_ns = int64_field j "t_ns" in
       let* step = int_field j "step" in
       let* label = string_field j "label" in
       let* values = int_values j "values" in
-      Ok (Telemetry.Provenance { t_ns; step; label; values })
+      Ok (Telemetry.Provenance { t_ns; domain; step; label; values })
   | "message" ->
       let* t_ns = int64_field j "t_ns" in
       let* text = string_field j "text" in
-      Ok (Telemetry.Message { t_ns; text })
+      Ok (Telemetry.Message { t_ns; domain; text })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 let parse_line line =

@@ -1,16 +1,21 @@
-(** Read [slocal.trace/1] JSONL traces back into {!Telemetry.event}
-    values — the inverse of {!Telemetry.event_to_json}.
+(** Read [slocal.trace/2] (and /1) JSONL traces back into
+    {!Telemetry.event} values — the inverse of
+    {!Telemetry.event_to_json}.
 
     Reading is {e tolerant}: lines that are not valid JSON, are
     truncated mid-object (a killed process), or carry an unknown
     event shape are skipped and counted rather than failing the whole
     trace, so [slocal trace report] degrades gracefully on damaged
-    files.  Unknown {e fields} on known kinds are ignored; the
-    [alloc_b] field of [span_close] defaults to [0] when absent
-    (traces from older writers). *)
+    files.  Unknown {e fields} on known kinds are ignored; additive
+    fields default when absent (traces from older writers): the
+    [alloc_b] field of [span_close] defaults to [0], and the /2
+    [domain] field defaults to [0] on every kind — /1 traces were
+    single-domain by construction.  A mixed /1 + /2 file (e.g. a
+    concatenation) therefore reads cleanly, /1 events landing on
+    domain 0. *)
 
 val schema_version : string
-(** ["slocal.trace/1"]. *)
+(** ["slocal.trace/2"]. *)
 
 type read_result = {
   events : Telemetry.event list;  (** In file order. *)

@@ -754,6 +754,190 @@ let test_progress_modes () =
     (Progress.heartbeat_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Domains: per-domain shards, the deterministic merge, and the pool *)
+
+module Trace = Slocal_obs.Trace
+module Pool = Slocal_obs.Pool
+
+let test_shard_merge () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.shard.counter" in
+  let g = Telemetry.gauge "test.shard.gauge" in
+  Telemetry.add c 5;
+  Telemetry.set g 3;
+  H.record (Telemetry.histogram "test.shard.hist") 10;
+  let worker dc dg dh () =
+    Telemetry.add c dc;
+    Telemetry.set g dg;
+    H.record (Telemetry.histogram "test.shard.hist") dh
+  in
+  let d1 = Domain.spawn (worker 7 9 20) and d2 = Domain.spawn (worker 11 1 30) in
+  Domain.join d1;
+  Domain.join d2;
+  check int_t "counters sum across shards" 23 (Telemetry.value c);
+  check int_t "gauges take the per-domain max" 9 (Telemetry.value g);
+  check (Alcotest.option int_t) "snapshot reads the merge" (Some 23)
+    (List.assoc_opt "test.shard.counter" (Telemetry.snapshot ()));
+  let h = List.assoc "test.shard.hist" (Telemetry.histogram_snapshot ()) in
+  check int_t "histograms merge pointwise" 3 (H.count h);
+  check int_t "histogram max survives the merge" 30 (H.max_value h);
+  Telemetry.reset_metrics ();
+  check int_t "reset clears every shard" 0 (Telemetry.value c)
+
+let test_shard_merge_order_insensitive () =
+  with_clean_telemetry @@ fun () ->
+  (* The merge is a fold of per-shard values through (+) for counters
+     and max for gauges — associative and commutative — so the merged
+     reading must not depend on which domain wrote what, or in which
+     order the shards were created. *)
+  let c = Telemetry.counter "test.shard.order" in
+  let g = Telemetry.gauge "test.shard.order_gauge" in
+  let run_permutation vs =
+    Telemetry.reset_metrics ();
+    List.iter
+      (fun v ->
+        Domain.join
+          (Domain.spawn (fun () ->
+               Telemetry.add c v;
+               Telemetry.set g v)))
+      vs;
+    (Telemetry.value c, Telemetry.value g)
+  in
+  let a = run_permutation [ 1; 2; 3 ] in
+  let b = run_permutation [ 3; 1; 2 ] in
+  let d = run_permutation [ 2; 3; 1 ] in
+  check (Alcotest.pair int_t int_t) "permutation b" a b;
+  check (Alcotest.pair int_t int_t) "permutation c" a d;
+  check (Alcotest.pair int_t int_t) "sum and max" (6, 3) a
+
+let test_pool_parity () =
+  with_clean_telemetry @@ fun () ->
+  let f i = (i * i) + 1 in
+  let seq = Pool.run ~jobs:1 20 f in
+  List.iter
+    (fun jobs ->
+      check bool_t
+        (Printf.sprintf "jobs=%d byte-identical" jobs)
+        true
+        (Pool.run ~jobs 20 f = seq))
+    [ 2; 3; 4 ];
+  check
+    (Alcotest.list string_t)
+    "map preserves order"
+    [ "1"; "2"; "3"; "4"; "5" ]
+    (Pool.map ~jobs:3 string_of_int [ 1; 2; 3; 4; 5 ]);
+  check bool_t "zero tasks" true (Pool.run ~jobs:4 0 f = [||]);
+  Alcotest.check_raises "negative task count"
+    (Invalid_argument "Pool.run: negative task count") (fun () ->
+      ignore (Pool.run ~jobs:2 (-1) f))
+
+let test_pool_counters () =
+  with_clean_telemetry @@ fun () ->
+  ignore (Pool.run ~jobs:3 12 (fun i -> i));
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  check int_t "par.tasks_submitted" 12 (v "par.tasks_submitted");
+  check int_t "par.tasks_completed" 12 (v "par.tasks_completed");
+  check int_t "par.merges counts joined workers" 2 (v "par.merges");
+  check int_t "par.jobs gauge" 3 (v "par.jobs");
+  check bool_t "par.tasks_stolen bounded by completed" true
+    (v "par.tasks_stolen" <= 12)
+
+let test_pool_exception () =
+  with_clean_telemetry @@ fun () ->
+  Alcotest.check_raises "first task exception re-raised after joins" Exit
+    (fun () -> ignore (Pool.run ~jobs:2 8 (fun i -> if i = 3 then raise Exit)))
+
+let test_jsonl_multi_domain () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_trace2" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  Telemetry.set_sink (Telemetry.jsonl_sink oc);
+  ignore (Pool.run ~jobs:3 6 (fun i -> Telemetry.span "task" (fun () -> i)));
+  Telemetry.set_sink Telemetry.null_sink;
+  close_out oc;
+  let r = Trace.read_file file in
+  check int_t "no damaged lines" 0 r.Trace.skipped;
+  check (Alcotest.option string_t) "schema is slocal.trace/2"
+    (Some "slocal.trace/2") r.Trace.schema;
+  let domains =
+    List.sort_uniq compare (List.map Telemetry.event_domain r.Trace.events)
+  in
+  check bool_t "at least two distinct domain ids" true
+    (List.length domains >= 2);
+  (* Every worker's span_open/span_close pairs balance per domain. *)
+  List.iter
+    (fun d ->
+      let count k =
+        List.length
+          (List.filter
+             (fun e ->
+               Telemetry.event_domain e = d
+               &&
+               match (e, k) with
+               | Telemetry.Span_open _, `O | Telemetry.Span_close _, `C -> true
+               | _ -> false)
+             r.Trace.events)
+      in
+      check int_t
+        (Printf.sprintf "domain %d spans balanced" d)
+        (count `O) (count `C))
+    domains
+
+let test_mixed_schema_trace () =
+  (* A /1 prefix (no domain fields) concatenated with a /2 tail must
+     read cleanly: legacy events default to domain 0. *)
+  let file = Filename.temp_file "slocal_mixed" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  List.iter
+    (fun l -> output_string oc (l ^ "\n"))
+    [
+      {|{"kind":"trace_start","t_ns":1,"schema":"slocal.trace/1"}|};
+      {|{"kind":"span_open","id":1,"parent":null,"name":"legacy","t_ns":2}|};
+      {|{"kind":"span_close","id":1,"name":"legacy","t_ns":5,"dur_ns":3,"alloc_b":0}|};
+      {|{"kind":"span_open","id":2,"parent":null,"name":"tagged","t_ns":6,"domain":4}|};
+      {|{"kind":"span_close","id":2,"name":"tagged","t_ns":9,"dur_ns":3,"alloc_b":0,"domain":4}|};
+    ];
+  close_out oc;
+  let r = Trace.read_file file in
+  check int_t "all lines parse" 0 r.Trace.skipped;
+  check int_t "five events" 5 (List.length r.Trace.events);
+  check
+    (Alcotest.list int_t)
+    "legacy events default to domain 0, tagged keep theirs"
+    [ 0; 0; 0; 4; 4 ]
+    (List.map Telemetry.event_domain r.Trace.events)
+
+let test_progress_dropped () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_progress" ".txt" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () ->
+      Progress.set_mode Progress.Off;
+      Progress.set_output stderr;
+      Progress.set_interval_ns 500_000_000L;
+      Progress.reset ();
+      close_out_noerr oc;
+      Sys.remove file)
+  @@ fun () ->
+  Progress.set_mode Progress.Forced;
+  Progress.set_output oc;
+  (* An hour-long window: everything after the phase's first tick
+     loses the throttle and must count into progress.dropped. *)
+  Progress.set_interval_ns 3_600_000_000_000L;
+  Progress.start ~total:10 "phase";
+  Progress.tick ~step:1 ();
+  Progress.tick ~step:2 ();
+  Progress.tick ~step:3 ();
+  Progress.finish ();
+  check int_t "only the first tick emitted" 1 (Progress.heartbeat_count ());
+  check int_t "suppressed ticks counted" 2 (Progress.dropped_count ())
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -807,5 +991,22 @@ let () =
           Alcotest.test_case "run context" `Quick test_ledger_run_context;
         ] );
       ( "progress",
-        [ Alcotest.test_case "modes and heartbeats" `Quick test_progress_modes ] );
+        [
+          Alcotest.test_case "modes and heartbeats" `Quick test_progress_modes;
+          Alcotest.test_case "dropped ticks under throttle" `Quick
+            test_progress_dropped;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "shard merge" `Quick test_shard_merge;
+          Alcotest.test_case "merge order-insensitive" `Quick
+            test_shard_merge_order_insensitive;
+          Alcotest.test_case "pool parity" `Quick test_pool_parity;
+          Alcotest.test_case "pool accounting" `Quick test_pool_counters;
+          Alcotest.test_case "pool exception" `Quick test_pool_exception;
+          Alcotest.test_case "multi-domain jsonl trace" `Quick
+            test_jsonl_multi_domain;
+          Alcotest.test_case "mixed /1 + /2 trace" `Quick
+            test_mixed_schema_trace;
+        ] );
     ]

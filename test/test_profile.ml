@@ -257,7 +257,128 @@ let test_profile_json () =
     (Option.bind (Json.member "spans" doc) Json.as_int);
   check bool_t "tree present" true (Json.member "tree" doc <> None);
   check bool_t "totals present" true (Json.member "totals" doc <> None);
-  check bool_t "folded present" true (Json.member "folded" doc <> None)
+  check bool_t "folded present" true (Json.member "folded" doc <> None);
+  check bool_t "domains present" true (Json.member "domains" doc <> None);
+  (match Json.member "timeline" doc with
+  | Some tl ->
+      check bool_t "timeline has utilization_ppm" true
+        (Option.bind (Json.member "utilization_ppm" tl) Json.as_int <> None);
+      check bool_t "timeline has lanes" true (Json.member "lanes" tl <> None)
+  | None -> Alcotest.fail "timeline absent from the document")
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain traces: per-domain span trees and the timeline *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A hand-built two-domain trace with known geometry:
+   domain 0: a [0,100] with child c [20,40]; domain 1: b [10,60].
+   Window [0,110] (a trailing counters event extends it). *)
+let two_domain_events () =
+  let o id parent name t d =
+    Telemetry.Span_open
+      { id; parent; name; t_ns = Int64.of_int t; domain = d }
+  in
+  let c id name t0 t d =
+    Telemetry.Span_close
+      {
+        id;
+        name;
+        t_ns = Int64.of_int t;
+        dur_ns = Int64.of_int (t - t0);
+        alloc_b = 0;
+        domain = d;
+      }
+  in
+  [
+    Telemetry.Trace_start { t_ns = 0L; domain = 0 };
+    o 1 None "a" 0 0;
+    o 2 None "b" 10 1;
+    o 3 (Some 1) "c" 20 0;
+    Telemetry.Counters { t_ns = 25L; domain = 1; values = [ ("k", 5) ] };
+    c 3 "c" 20 40 0;
+    c 2 "b" 10 60 1;
+    c 1 "a" 0 100 0;
+    Telemetry.Counters { t_ns = 110L; domain = 0; values = [ ("k", 5) ] };
+  ]
+
+let test_multi_domain_tree () =
+  let t = Profile.of_events (two_domain_events ()) in
+  check (Alcotest.list int_t) "domains recorded" [ 0; 1 ] t.Profile.domains;
+  check int_t "a and b are roots" 2 (List.length t.Profile.roots);
+  let a = List.find (fun s -> s.Profile.name = "a") t.Profile.roots in
+  check int_t "a keeps its child across the interleave" 1
+    (List.length a.Profile.children);
+  check int_t "a is domain 0" 0 a.Profile.domain;
+  (* Per-domain open stacks: the snapshot at t=25 arrives from domain
+     1, so its delta belongs to b — even though c (domain 0) opened
+     more recently. *)
+  (match List.assoc_opt "b" t.Profile.attribution with
+  | Some kvs ->
+      check (Alcotest.option int_t) "delta charged to b" (Some 5)
+        (List.assoc_opt "k" kvs)
+  | None -> Alcotest.fail "no attribution for b");
+  check bool_t "nothing charged to c" true
+    (List.assoc_opt "c" t.Profile.attribution = None);
+  check
+    (Alcotest.list string_t)
+    "domain-0 critical path" [ "a"; "c" ]
+    (List.map
+       (fun s -> s.Profile.name)
+       (Profile.critical_path ~domain:0 t));
+  check
+    (Alcotest.list string_t)
+    "domain-1 critical path" [ "b" ]
+    (List.map
+       (fun s -> s.Profile.name)
+       (Profile.critical_path ~domain:1 t));
+  check int_t "per-domain totals see one domain" 1
+    (List.length (Profile.totals ~domain:1 t))
+
+let test_timeline_geometry () =
+  let t = Profile.of_events (two_domain_events ()) in
+  let tl = Profile.timeline t in
+  check int_t "wall is the trace window" 110 tl.Profile.tl_wall_ns;
+  check int_t "two lanes" 2 (List.length tl.Profile.tl_lanes);
+  check
+    (Alcotest.list int_t)
+    "lane busy times" [ 100; 50 ]
+    (List.map (fun l -> l.Profile.lane_busy_ns) tl.Profile.tl_lanes);
+  check int_t "max concurrency" 2 tl.Profile.tl_max_concurrency;
+  (* [0,10): a alone; [10,60): a+b; [60,100): a alone; [100,110): idle. *)
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "concurrent-busy-domains histogram"
+    [ (0, 10); (1, 50); (2, 50) ]
+    tl.Profile.tl_busy_hist;
+  check (Alcotest.float 1e-9) "utilization = busy / (wall × lanes)"
+    (150. /. 220.) tl.Profile.tl_utilization;
+  check (Alcotest.float 1e-9) "serial fraction = time at level ≤ 1"
+    (60. /. 110.) tl.Profile.tl_serial_fraction
+
+let test_timeline_single_domain () =
+  (* A live single-domain workload degrades to one lane, no
+     concurrency, serial fraction 1. *)
+  let t = Profile.of_events (collect_workload ()) in
+  let tl = Profile.timeline t in
+  check int_t "one lane" 1 (List.length tl.Profile.tl_lanes);
+  check int_t "max concurrency 1" 1 tl.Profile.tl_max_concurrency;
+  check (Alcotest.float 1e-9) "serial fraction 1" 1. tl.Profile.tl_serial_fraction;
+  check bool_t "utilization within (0, 1]" true
+    (tl.Profile.tl_utilization > 0. && tl.Profile.tl_utilization <= 1.)
+
+let test_timeline_render () =
+  let t = Profile.of_events (two_domain_events ()) in
+  let out = Format.asprintf "%a" Profile.pp_timeline t in
+  check bool_t "prints a utilization figure" true (contains out "utilization");
+  check bool_t "prints a lane per domain" true
+    (contains out "lane domain 0" && contains out "lane domain 1");
+  check bool_t "prints the serial fraction" true (contains out "serial fraction");
+  check bool_t "prints per-domain critical paths" true
+    (contains out "critical path (domain 1)")
 
 (* ------------------------------------------------------------------ *)
 (* Property: histogram merge is associative (and commutative) *)
@@ -328,6 +449,15 @@ let () =
         [
           Alcotest.test_case "provenance events" `Quick
             test_sequence_provenance;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "per-domain span trees" `Quick
+            test_multi_domain_tree;
+          Alcotest.test_case "timeline geometry" `Quick test_timeline_geometry;
+          Alcotest.test_case "single-domain degenerate" `Quick
+            test_timeline_single_domain;
+          Alcotest.test_case "timeline rendering" `Quick test_timeline_render;
         ] );
       ( "document",
         [ Alcotest.test_case "slocal.profile/1" `Quick test_profile_json ] );
