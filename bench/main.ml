@@ -880,6 +880,65 @@ let e_par () =
   Format.printf "results identical across widths: true@."
 
 (* ------------------------------------------------------------------ *)
+(* E-SCALE *)
+
+(* Threads-scaling over the real kernels, the rows CI archives as an
+   artifact: the full E-LIFT agreement workload (both decision routes
+   per problem, [Zero_round.decide_batch]) and an RE sequence
+   ([Sequence.iterate_re], whose per-step lattice descents fan out
+   wave by wave) at pool widths 1, 2 and 4.  Each row asserts the
+   results byte-identical to the width-1 run; like E-PAR, the
+   experiment stays out of --quick and has no baseline entry, so the
+   honest single-core wall column (speedup materializes only on
+   multi-core machines) never trips the regression gate. *)
+let e_scale () =
+  let widths = [ 1; 2; 4 ] in
+  let row jobs wall base_wall =
+    Format.printf "  %4d %12s %8s@." jobs
+      (Format.asprintf "%a" Telemetry.pp_duration wall)
+      (if jobs = 1 then "1.00x"
+       else
+         Printf.sprintf "%.2fx"
+           (Int64.to_float base_wall /. Int64.to_float (Int64.max 1L wall)))
+  in
+  let scale title run check_equal =
+    Format.printf "%s by pool width:@." title;
+    Format.printf "  %4s %12s %8s@." "jobs" "wall" "speedup";
+    let baseline = ref None and base_wall = ref 0L in
+    List.iter
+      (fun jobs ->
+        let t0 = Telemetry.now_ns () in
+        let results = run jobs in
+        let wall = Int64.sub (Telemetry.now_ns ()) t0 in
+        (match !baseline with
+        | None ->
+            baseline := Some results;
+            base_wall := wall
+        | Some b ->
+            if not (check_equal b results) then
+              failwith
+                (Printf.sprintf "E-SCALE: %s at jobs=%d differs from \
+                                 sequential" title jobs));
+        row jobs wall !base_wall)
+      widths;
+    Format.printf "  results identical across widths: true@."
+  in
+  let support = bipartite_cycle 3 in
+  scale "E-LIFT decide_batch (49 problems x 2 routes, C_6 support)"
+    (fun jobs ->
+      (* Fresh problems per width: each task owns its memo tables. *)
+      Zero_round.decide_batch ~jobs support (Zero_round.two_label_problems ()))
+    (fun a b -> a = b);
+  scale "E-SEQ iterate_re (mm:3, 2 steps)"
+    (fun jobs ->
+      (* Cold RE cache per width, or widths > 1 would only replay
+         cached results. *)
+      Re_step.clear_cache ();
+      List.map Problem.to_string
+        (Sequence.iterate_re ~jobs (MF.maximal_matching ~delta:3) ~steps:2))
+    (fun a b -> a = b)
+
+(* ------------------------------------------------------------------ *)
 (* Experiment registry, machine-readable output, and the driver.
 
    Each experiment runs bracketed by a wall-clock reading and a
@@ -930,6 +989,10 @@ let all_experiments =
     ( "E-PAR",
       "Pool scaling: the 0-round search batch at widths 1/2/4, byte-identical",
       e_par );
+    ( "E-SCALE",
+      "Threads scaling of the real kernels: E-LIFT decide_batch and E-SEQ \
+       iterate_re at widths 1/2/4",
+      e_scale );
   ]
 
 (* The CI smoke subset: cheap experiments only (pure tables, diagrams,
@@ -1467,7 +1530,10 @@ let history files =
   end
 
 let () =
-  let json_file = ref None and quick = ref false and positional = ref [] in
+  let json_file = ref None
+  and quick = ref false
+  and only = ref []
+  and positional = ref [] in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -1479,6 +1545,18 @@ let () =
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | "--only" :: id :: rest ->
+        if not (List.exists (fun (i, _, _) -> i = id) all_experiments) then begin
+          Printf.eprintf "bench: --only %s: unknown experiment id (known: %s)\n"
+            id
+            (String.concat ", " (List.map (fun (i, _, _) -> i) all_experiments));
+          exit 2
+        end;
+        only := id :: !only;
+        parse rest
+    | [ "--only" ] ->
+        prerr_endline "bench: --only needs an experiment ID argument";
+        exit 2
     | arg :: rest ->
         positional := arg :: !positional;
         parse rest
@@ -1508,7 +1586,9 @@ let () =
       Slocal_obs.Ledger.begin_run ~argv:(Array.to_list Sys.argv);
       Format.printf "Supported LOCAL lower bounds — experiment harness@.";
       let selected =
-        if !quick then
+        if !only <> [] then
+          List.filter (fun (id, _, _) -> List.mem id !only) all_experiments
+        else if !quick then
           List.filter (fun (id, _, _) -> List.mem id quick_ids) all_experiments
         else all_experiments
       in

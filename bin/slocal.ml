@@ -158,6 +158,17 @@ let progress_flag =
           "Emit throttled [progress] heartbeat lines to stderr even when \
            stderr is not a TTY (on a TTY the heartbeat is on by default).")
 
+let jobs_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the command's independent kernel work out over $(docv) OCaml \
+           domains (default 1 = sequential).  The report is byte-identical \
+           for every $(docv) (DESIGN.md §9); only the wall time, the \
+           schedule recorded in a --trace file, and the par.* counters \
+           change.")
+
 let kernel_name = function
   | Re_step.Fast -> "fast"
   | Re_step.Reference -> "reference"
@@ -260,7 +271,7 @@ let re_cmd =
   let steps =
     Arg.(value & opt int 1 & info [ "steps"; "k" ] ~doc:"Number of RE steps.")
   in
-  let run spec steps kernel trace metrics openmetrics progress =
+  let run spec steps kernel jobs trace metrics openmetrics progress =
     Re_step.set_kernel kernel;
     with_telemetry ~cmd:"re" ~kernel
       ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
@@ -269,7 +280,7 @@ let re_cmd =
     let p = ref (parse_problem spec) in
     print_string (Problem.to_string !p);
     for i = 1 to steps do
-      p := Re_step.re !p;
+      p := Re_step.re ~jobs !p;
       Format.printf "@.--- after RE step %d ---@." i;
       print_string (Problem.to_string !p)
     done;
@@ -279,8 +290,8 @@ let re_cmd =
   Cmd.v
     (Cmd.info "re" ~doc:"Apply round elimination steps")
     Term.(
-      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag
-      $ openmetrics_opt $ progress_flag)
+      const run $ problem_arg $ steps $ kernel_opt $ jobs_opt $ trace_opt
+      $ metrics_flag $ openmetrics_opt $ progress_flag)
 
 let lift_cmd =
   let delta =
@@ -316,7 +327,20 @@ let solve_cmd =
   let budget =
     Arg.(value & opt int 20_000_000 & info [ "budget" ] ~doc:"Search node budget.")
   in
-  let run spec gspec lift_flag budget trace metrics openmetrics progress =
+  let portfolio_opt =
+    Arg.(
+      value & opt int 1
+      & info [ "portfolio" ] ~docv:"K"
+          ~doc:
+            "Race $(docv) search starts with diverse variable orderings \
+             (start 0 is the default BFS ordering) over the --jobs pool; \
+             the reported verdict is that of the lowest-indexed decisive \
+             start — deterministic for each $(docv), whatever the width or \
+             schedule (DESIGN.md §9).  Per-start node statistics are \
+             schedule-dependent, so the effort lines are omitted.")
+  in
+  let run spec gspec lift_flag budget jobs portfolio trace metrics openmetrics
+      progress =
     with_telemetry ~cmd:"solve"
       ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
       trace metrics openmetrics
@@ -331,29 +355,53 @@ let solve_cmd =
     (match Girth.girth (Bipartite.graph g) with
     | None -> Format.printf "support: n=%d acyclic@." (Bipartite.n g)
     | Some girth -> Format.printf "support: n=%d girth=%d@." (Bipartite.n g) girth);
-    let outcome, st = Solver.solve_stats ~max_nodes:budget g problem in
-    (match outcome with
-    | Solver.Solution s ->
-        Format.printf "SOLVABLE (checker: %b)@."
-          (Checker.is_solution g problem s)
-    | Solver.No_solution -> Format.printf "NO SOLUTION@."
-    | Solver.Budget_exceeded -> Format.printf "UNDECIDED (budget)@.");
-    Format.printf
-      "search effort: %d nodes, %d backtracks, %d forward-checking prunes@."
-      st.Solver.nodes st.Solver.backtracks st.Solver.fc_prunes;
-    if st.Solver.budget_exhausted then
+    if portfolio > 1 then begin
+      (* Portfolio mode prints only schedule-independent facts: the
+         verdict, the checker bit and the winning start index.  The
+         aggregate effort counters depend on cancellation timing and
+         stay out of stdout (they still reach --metrics/--trace). *)
+      let outcome, winner =
+        Solver.solve_portfolio ~max_nodes:budget ~jobs ~starts:portfolio g
+          problem
+      in
+      match outcome with
+      | Solver.Solution s ->
+          Format.printf "SOLVABLE (checker: %b; portfolio start %d of %d)@."
+            (Checker.is_solution g problem s)
+            (Option.value winner ~default:(-1))
+            portfolio
+      | Solver.No_solution ->
+          Format.printf "NO SOLUTION (portfolio of %d starts)@." portfolio
+      | Solver.Budget_exceeded ->
+          Format.printf "UNDECIDED (budget; portfolio of %d starts)@." portfolio
+    end
+    else begin
+      let outcome, st = Solver.solve_stats ~max_nodes:budget g problem in
+      (match outcome with
+      | Solver.Solution s ->
+          Format.printf "SOLVABLE (checker: %b)@."
+            (Checker.is_solution g problem s)
+      | Solver.No_solution -> Format.printf "NO SOLUTION@."
+      | Solver.Budget_exceeded -> Format.printf "UNDECIDED (budget)@.");
       Format.printf
-        "budget of %d nodes was the limiting factor; raise --budget to decide@."
-        st.Solver.max_nodes
-    else
-      Format.printf "budget: %d of %d nodes used (not limiting)@."
-        st.Solver.nodes st.Solver.max_nodes
+        "search effort: %d nodes, %d backtracks, %d forward-checking prunes@."
+        st.Solver.nodes st.Solver.backtracks st.Solver.fc_prunes;
+      if st.Solver.budget_exhausted then
+        Format.printf
+          "budget of %d nodes was the limiting factor; raise --budget to \
+           decide@."
+          st.Solver.max_nodes
+      else
+        Format.printf "budget: %d of %d nodes used (not limiting)@."
+          st.Solver.nodes st.Solver.max_nodes
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide bipartite solvability on a concrete graph")
     Term.(
-      const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget $ trace_opt
-      $ metrics_flag $ openmetrics_opt $ progress_flag)
+      const run $ problem_arg $ graph_arg 1 $ lift_flag $ budget $ jobs_opt
+      $ portfolio_opt $ trace_opt $ metrics_flag $ openmetrics_opt
+      $ progress_flag)
 
 let bounds_cmd =
   let n = Arg.(value & opt float 1e9 & info [ "n" ] ~doc:"Number of nodes.") in
@@ -407,14 +455,14 @@ let sequence_cmd =
   let steps =
     Arg.(value & opt int 2 & info [ "steps"; "k" ] ~doc:"Number of RE iterations.")
   in
-  let run spec steps kernel trace metrics openmetrics progress =
+  let run spec steps kernel jobs trace metrics openmetrics progress =
     Re_step.set_kernel kernel;
     with_telemetry ~cmd:"sequence" ~kernel
       ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
       trace metrics openmetrics
     @@ fun () ->
     let p = parse_problem spec in
-    let seq = Sequence.iterate_re p ~steps in
+    let seq = Sequence.iterate_re ~jobs p ~steps in
     List.iteri
       (fun i q ->
         Format.printf "Π_%d: %d labels, %d white / %d black configurations@." i
@@ -429,9 +477,9 @@ let sequence_cmd =
           | Some true -> "verified"
           | Some false -> "refuted"
           | None -> "budget"))
-      (Sequence.check ~max_nodes:5_000_000 seq);
+      (Sequence.check ~max_nodes:5_000_000 ~jobs seq);
     Format.printf "lower-bound sequence: %s@."
-      (match Sequence.is_lower_bound_sequence ~max_nodes:5_000_000 seq with
+      (match Sequence.is_lower_bound_sequence ~max_nodes:5_000_000 ~jobs seq with
       | Some true -> "yes"
       | Some false -> "no"
       | None -> "undecided")
@@ -440,8 +488,8 @@ let sequence_cmd =
     (Cmd.info "sequence"
        ~doc:"Iterate RE and machine-check the lower-bound sequence")
     Term.(
-      const run $ problem_arg $ steps $ kernel_opt $ trace_opt $ metrics_flag
-      $ openmetrics_opt $ progress_flag)
+      const run $ problem_arg $ steps $ kernel_opt $ jobs_opt $ trace_opt
+      $ metrics_flag $ openmetrics_opt $ progress_flag)
 
 let stats_cmd =
   let graph_opt =
@@ -758,16 +806,6 @@ let export_cmd =
    --jobs domains; the output is byte-identical whatever the width. *)
 
 let sweep_cmd =
-  let jobs_opt =
-    Arg.(
-      value & opt int 1
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Fan the per-problem decisions out over $(docv) OCaml domains \
-             (default 1 = sequential).  The report is byte-identical for \
-             every $(docv); only the wall time, the schedule recorded in a \
-             --trace file, and the par.* counters change.")
-  in
   let budget =
     Arg.(
       value & opt int 20_000_000
@@ -1040,8 +1078,8 @@ let audit_cmd =
              ~doc:"Search-node budget for the independent unsolvability \
                    re-search (0 disables).")
   in
-  let run spec gspec k budget recheck_budget machine trace metrics openmetrics
-      progress =
+  let run spec gspec k budget recheck_budget jobs machine trace metrics
+      openmetrics progress =
     with_telemetry ~cmd:"audit"
       ~progress_mode:(if progress then Progress.Forced else Progress.Auto)
       trace metrics openmetrics
@@ -1053,7 +1091,9 @@ let audit_cmd =
           Printf.eprintf "audit: %s\n" msg;
           exit 2
     in
-    let res = Core.Framework.analyze ~max_nodes:budget support ~last_problem ~k in
+    let res =
+      Core.Framework.analyze ~max_nodes:budget ~jobs support ~last_problem ~k
+    in
     Format.printf "%a@." Core.Framework.pp_result res;
     let diags = Chk.audit ~support ~last_problem ~k ~recheck_budget res in
     report_and_exit ~machine diags
@@ -1063,8 +1103,8 @@ let audit_cmd =
        ~doc:"Run the Theorem 3.4 pipeline and re-validate the resulting \
              certificate")
     Term.(const run $ problem_arg $ graph_arg 1 $ k $ budget $ recheck_budget
-          $ machine_flag $ trace_opt $ metrics_flag $ openmetrics_opt
-          $ progress_flag)
+          $ jobs_opt $ machine_flag $ trace_opt $ metrics_flag
+          $ openmetrics_opt $ progress_flag)
 
 let gen_cmd =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Target node count.") in

@@ -266,6 +266,8 @@ let mutable_constructors =
     "Bytes.create";
     "Bytes.make";
     "Atomic.make";
+    "Mutex.create";
+    "Domain.DLS.new_key";
   ]
 
 let cache_container_types =

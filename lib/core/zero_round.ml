@@ -83,6 +83,18 @@ let search_batch ?(jobs = 1) ?max_assignments support problems =
         ~d_in_white:(Problem.d_white p) ~d_in_black:(Problem.d_black p))
     problems
 
+let decide_batch ?(jobs = 1) ?max_nodes ?max_assignments support problems =
+  Telemetry.span "zero_round.decide_batch" @@ fun () ->
+  Pool.map ~jobs
+    (fun p ->
+      let via_lift = solvable ?max_nodes support p in
+      let via_search =
+        Zero_round_search.exists_algorithm ?max_assignments support p
+          ~d_in_white:(Problem.d_white p) ~d_in_black:(Problem.d_black p)
+      in
+      (via_lift, via_search))
+    problems
+
 (* A choice of one base label per edge whose multiset lies in the white
    constraint, if any. *)
 let pick_white_choice (base : Problem.t) sets =

@@ -74,6 +74,19 @@ val search_batch :
     a list of problems, fanned out over [jobs] domains.  The
     independent tractable cross-check for {!solvable_batch}. *)
 
+val decide_batch :
+  ?jobs:int ->
+  ?max_nodes:int ->
+  ?max_assignments:int ->
+  Bipartite.t ->
+  Problem.t list ->
+  (bool option * bool option) list
+(** Both routes per problem in one task — the lift decision
+    ({!solvable}, so each task builds and solves its own lift) paired
+    with the exhaustive 0-round search — fanned out over [jobs]
+    domains.  This is the full E-LIFT agreement workload; for every
+    width the result list is identical to [jobs = 1]. *)
+
 val algorithm_of_lift_solution :
   Lift.t -> Bipartite.t -> int array -> Supported.white_algorithm
 (** The forward construction of Theorem 3.2: from a valid lift

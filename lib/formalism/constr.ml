@@ -1,6 +1,7 @@
 module Multiset = Slocal_util.Multiset
 module Config_key = Slocal_util.Config_key
 module Telemetry = Slocal_obs.Telemetry
+module Pool = Slocal_obs.Pool
 
 let c_memo_hits = Telemetry.counter "constr.memo_hits"
 let c_memo_misses = Telemetry.counter "constr.memo_misses"
@@ -11,7 +12,7 @@ module Config_set = Set.Make (struct
   let compare = Multiset.compare
 end)
 
-(* staticcheck: shared-cache-needs-lock per-constraint memo tables are filled on demand; share constraints across domains only behind a lock or clone per domain *)
+(* staticcheck: shared-cache-needs-lock per-constraint memo tables are filled on demand; [memo_mu] is held across every memo lookup+store while Pool.parallel_active, and the down slots publish through Atomic *)
 type t = {
   arity : int;
   configs : Config_set.t;
@@ -21,8 +22,12 @@ type t = {
          of one constraint (membership, down-closures) use it. *)
   member : unit Config_key.Tbl.t;
   (* Downward closure by size, built lazily: down.(k) holds the keys of
-     all size-k sub-multisets of configurations. *)
-  down : unit Config_key.Tbl.t option array;
+     all size-k sub-multisets of configurations.  Built into a fresh
+     table and published with one [Atomic.set], so concurrent readers
+     see either [None] (and build their own copy — a benign duplicate,
+     last store wins, no counters involved) or a complete table that
+     is immutable from then on. *)
+  down : unit Config_key.Tbl.t option Atomic.t array;
   (* Memoized quantified-choice queries, one table per quantifier,
      keyed by the canonicalized position sets (each set sorted and
      deduplicated, the positions sorted — the answers only depend on
@@ -31,6 +36,13 @@ type t = {
   memo_for_all : (int list list, bool) Hashtbl.t;
   memo_exists_partial : (int list list, bool) Hashtbl.t;
   memo_for_all_partial : (int list list, bool) Hashtbl.t;
+  (* Taken around every memo lookup+compute+store — but only while a
+     pool region is open ([Pool.parallel_active]; one atomic load on
+     the sequential path).  Holding it across the compute keeps the
+     memo accounting schedule-independent: the miss count is exactly
+     the number of distinct canonical keys, the hit count exactly the
+     remaining queries, the same totals as a sequential run. *)
+  memo_mu : Mutex.t;
 }
 
 let key t c = Config_key.of_multiset ~bits:t.bits c
@@ -59,11 +71,12 @@ let make ~arity config_list =
     configs;
     bits;
     member;
-    down = Array.make (arity + 1) None;
+    down = Array.init (arity + 1) (fun _ -> Atomic.make None);
     memo_exists = Hashtbl.create 64;
     memo_for_all = Hashtbl.create 64;
     memo_exists_partial = Hashtbl.create 64;
     memo_for_all_partial = Hashtbl.create 64;
+    memo_mu = Mutex.create ();
   }
 
 let arity t = t.arity
@@ -72,7 +85,7 @@ let size t = Config_set.cardinal t.configs
 let mem c t = Config_key.Tbl.mem t.member (key t c)
 
 let down_closure t k =
-  match t.down.(k) with
+  match Atomic.get t.down.(k) with
   | Some s -> s
   | None ->
       let s = Config_key.Tbl.create 64 in
@@ -82,7 +95,7 @@ let down_closure t k =
             (fun sub -> Config_key.Tbl.replace s (key t sub) ())
             (Multiset.sub_multisets k c))
         t.configs;
-      t.down.(k) <- Some s;
+      Atomic.set t.down.(k) (Some s);
       s
 
 let extendable partial t =
@@ -98,17 +111,30 @@ let extendable partial t =
 let canonical_sets sets =
   List.sort compare (List.map (fun s -> List.sort_uniq compare s) sets)
 
-let memoized tbl sets compute =
+let memoized t tbl sets compute =
   let k = canonical_sets sets in
-  match Hashtbl.find_opt tbl k with
-  | Some v ->
-      Telemetry.incr c_memo_hits;
-      v
-  | None ->
-      Telemetry.incr c_memo_misses;
-      let v = compute () in
-      Hashtbl.add tbl k v;
-      v
+  let lookup () =
+    match Hashtbl.find_opt tbl k with
+    | Some v ->
+        Telemetry.incr c_memo_hits;
+        v
+    | None ->
+        Telemetry.incr c_memo_misses;
+        let v = compute () in
+        Hashtbl.add tbl k v;
+        v
+  in
+  if Pool.parallel_active () then begin
+    (* The lock spans lookup, compute and store, so exactly one task
+       computes each distinct key and every other query of it is a
+       hit — the same hit/miss totals as a sequential run, whatever
+       the schedule.  [compute] recurses only into the lock-free
+       membership/extendability paths of the same constraint, never
+       back into [memoized], so the mutex is never re-entered. *)
+    Mutex.lock t.memo_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.memo_mu) lookup
+  end
+  else lookup ()
 
 let exists_pick ~complete sets t =
   let rec go acc = function
@@ -136,7 +162,7 @@ let for_all_pick ~complete sets t =
 
 let exists_choice sets t =
   if List.length sets <> t.arity then invalid_arg "Constr.exists_choice: arity mismatch";
-  memoized t.memo_exists sets @@ fun () ->
+  memoized t t.memo_exists sets @@ fun () ->
   exists_pick ~complete:(fun acc -> mem acc t) sets t
 
 let for_all_choices sets t =
@@ -145,17 +171,17 @@ let for_all_choices sets t =
      pick (any completion of it), so the universal test may
      short-circuit on it.  An empty position set makes the product
      empty and the test vacuously true. *)
-  memoized t.memo_for_all sets @@ fun () ->
+  memoized t t.memo_for_all sets @@ fun () ->
   for_all_pick ~complete:(fun acc -> mem acc t) sets t
 
 let exists_choice_partial sets t =
   if List.length sets > t.arity then invalid_arg "Constr.exists_choice_partial";
-  memoized t.memo_exists_partial sets @@ fun () ->
+  memoized t t.memo_exists_partial sets @@ fun () ->
   exists_pick ~complete:(fun acc -> extendable acc t) sets t
 
 let for_all_choices_partial sets t =
   if List.length sets > t.arity then invalid_arg "Constr.for_all_choices_partial";
-  memoized t.memo_for_all_partial sets @@ fun () ->
+  memoized t t.memo_for_all_partial sets @@ fun () ->
   for_all_pick ~complete:(fun acc -> extendable acc t) sets t
 
 let labels_used t =

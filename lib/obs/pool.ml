@@ -11,24 +11,69 @@ let c_submitted = Telemetry.counter "par.tasks_submitted"
 let c_completed = Telemetry.counter "par.tasks_completed"
 let c_stolen = Telemetry.counter "par.tasks_stolen"
 let c_merges = Telemetry.counter "par.merges"
+let c_cancelled = Telemetry.counter "par.tasks_cancelled"
+let c_nested = Telemetry.counter "par.nested_runs"
 let g_jobs = Telemetry.gauge "par.jobs"
 
-let run ~jobs n f =
+(* Count of parallel regions currently open across the process.  Read
+   by shared-cache owners (Constr's memo tables, Re_step's result
+   cache) to decide whether their lock must be taken: the sequential
+   path pays one atomic load per query, nothing more. *)
+let regions : int Atomic.t = Atomic.make 0 (* staticcheck: domain-safe parallel-region count; fetch_and_add around each multi-domain run *)
+
+let parallel_active () = Atomic.get regions > 0
+
+(* Set while the current domain is executing a pool task.  A nested
+   [run]/[run_stoppable] with [jobs > 1] from inside a task degrades
+   to the inline sequential path (counted in [par.nested_runs]):
+   spawning domains from a worker would nest joins inside the outer
+   run's merge point and oversubscribe the machine. *)
+(* staticcheck: domain-safe per-domain nesting flag; DLS, never shared *)
+let in_task_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let in_task () = !(Domain.DLS.get in_task_key)
+
+let run_task f i =
+  let flag = Domain.DLS.get in_task_key in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) (fun () -> f i)
+
+let effective_jobs jobs =
+  if jobs > 1 && in_task () then begin
+    Telemetry.incr c_nested;
+    1
+  end
+  else jobs
+
+(* The shared core: evaluate tasks [0 .. n-1] into index-addressed
+   option slots, skipping tasks not yet claimed once [stop] reads
+   [true].  [stop = None] (the plain [run] entry) never skips. *)
+let run_opt ~jobs ?stop n f =
   if n < 0 then invalid_arg "Pool.run: negative task count";
+  let jobs = effective_jobs jobs in
+  let stopped () = match stop with None -> false | Some s -> Atomic.get s in
   if n = 0 then [||]
   else if jobs <= 1 || n = 1 then begin
     (* Today's sequential path: no spawn, no atomics on the task
        index, results in order by construction. *)
     Telemetry.add c_submitted n;
-    Array.init n (fun i ->
-        let r = f i in
-        Telemetry.incr c_completed;
-        r)
+    let results = Array.make n None in
+    let i = ref 0 in
+    while !i < n && not (stopped ()) do
+      results.(!i) <- Some (run_task f !i);
+      Telemetry.incr c_completed;
+      incr i
+    done;
+    Telemetry.add c_cancelled (n - !i);
+    results
   end
   else begin
     let jobs = min jobs n in
     Telemetry.set g_jobs jobs;
     Telemetry.add c_submitted n;
+    Atomic.incr regions;
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failed : exn option Atomic.t = Atomic.make None in
@@ -36,21 +81,30 @@ let run ~jobs n f =
       Telemetry.span "par.worker" @@ fun () ->
       let continue = ref true in
       while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else
-          match f i with
-          | r ->
-              (* Distinct slots: no two workers ever write the same
-                 cell, and the joins below publish every write. *)
-              results.(i) <- Some r;
-              Telemetry.incr c_completed;
-              if not primary then Telemetry.incr c_stolen
-          | exception e ->
-              (* Remember the first failure; later tasks still run so
-                 the counters and the trace stay complete. *)
-              ignore (Atomic.compare_and_set failed None (Some e))
+        if stopped () then continue := false
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match run_task f i with
+            | r ->
+                (* Distinct slots: no two workers ever write the same
+                   cell, and the joins below publish every write. *)
+                results.(i) <- Some r;
+                Telemetry.incr c_completed;
+                if not primary then Telemetry.incr c_stolen
+            | exception e ->
+                (* Remember the first failure; later tasks still run so
+                   the counters and the trace stay complete. *)
+                ignore (Atomic.compare_and_set failed None (Some e))
+        end
       done
+    in
+    let finish () =
+      (* Each joined worker's shard is now merged into every snapshot
+         read; count the merges at the join point. *)
+      Telemetry.add c_merges (jobs - 1);
+      Atomic.decr regions
     in
     let spawned =
       List.init (jobs - 1) (fun _ ->
@@ -60,18 +114,29 @@ let run ~jobs n f =
                  trace bytes to the mutex-guarded writer. *)
               Telemetry.flush_local ()))
     in
-    worker ~primary:true ();
+    (match worker ~primary:true () with
+    | () -> ()
+    | exception e ->
+        (* Never leave workers unjoined, whatever the primary did. *)
+        List.iter Domain.join spawned;
+        finish ();
+        raise e);
     List.iter Domain.join spawned;
-    (* Each joined worker's shard is now merged into every snapshot
-       read; count the merges at the join point. *)
-    Telemetry.add c_merges (jobs - 1);
+    finish ();
     (match Atomic.get failed with Some e -> raise e | None -> ());
-    Array.map
-      (function
-        | Some r -> r
-        | None -> invalid_arg "Pool.run: task failed without a result")
-      results
+    let claimed = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 results in
+    Telemetry.add c_cancelled (n - claimed);
+    results
   end
+
+let run ~jobs n f =
+  Array.map
+    (function
+      | Some r -> r
+      | None -> invalid_arg "Pool.run: task failed without a result")
+    (run_opt ~jobs n f)
+
+let run_stoppable ~jobs ~stop n f = run_opt ~jobs ~stop n f
 
 let map ~jobs f l =
   let arr = Array.of_list l in

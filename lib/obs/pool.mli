@@ -16,6 +16,10 @@
     - [par.tasks_stolen] — tasks executed by a spawned (non-primary)
       domain;
     - [par.merges] — worker shards merged at join points;
+    - [par.tasks_cancelled] — tasks skipped because a
+      {!run_stoppable} stop flag was raised before they were claimed;
+    - [par.nested_runs] — parallel runs requested from inside a pool
+      task, degraded to the inline sequential path;
     - [par.jobs] — gauge: width of the last parallel run.
 
     While a trace sink is installed, each worker wraps its claiming
@@ -28,11 +32,35 @@ val run : jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ~jobs n f] evaluates [f i] for [0 <= i < n] on [min jobs n]
     domains (the caller plus spawned workers) and returns the results
     in index order.  Tasks must be independent: they may not share
-    mutable state (in particular, a [Problem.t] with its on-demand
-    constraint memos must belong to exactly one task).  If a task
-    raises, the remaining tasks still run and the first exception is
-    re-raised after all workers are joined.
+    mutable state without a lock (a [Problem.t] with its on-demand
+    constraint memos may be shared only because {!Constr} locks its
+    memo tables while {!parallel_active} — prefer one problem per
+    task).  If a task raises, the remaining tasks still run and the
+    first exception is re-raised after all workers are joined.
+
+    A [run] with [jobs > 1] issued from {e inside} a pool task does
+    not spawn: it degrades to the inline sequential path and counts
+    [par.nested_runs], so accidental nesting cannot deadlock the
+    merge points or oversubscribe the machine.
     @raise Invalid_argument on a negative [n]. *)
+
+val run_stoppable :
+  jobs:int -> stop:bool Atomic.t -> int -> (int -> 'a) -> 'a option array
+(** {!run}, except that once [stop] reads [true] no {e further} tasks
+    are claimed: already-running tasks complete normally (cooperative
+    cancellation — pass the same flag into the task body if it should
+    abort mid-flight), unclaimed tasks are skipped, their slots come
+    back [None], and the skips count into [par.tasks_cancelled].
+    {e Which} tasks completed before the flag rose is schedule
+    dependent; callers wanting a deterministic report must derive it
+    from the index order, not from the completion set (see the
+    portfolio solver, DESIGN.md §9). *)
+
+val parallel_active : unit -> bool
+(** [true] while at least one multi-domain {!run} is open anywhere in
+    the process.  Shared caches ({!Slocal_formalism.Constr} memo
+    tables, the RE result cache) consult this to decide whether their
+    lock must be taken, keeping the sequential path lock-free. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f l] is {!run} over the elements of [l], preserving

@@ -129,6 +129,7 @@ let finish () = ph_started := false
    go through the shared [last_emit] throttle.  A node count below
    the last one means a new solve began on that domain. *)
 
+(* staticcheck: domain-safe per-domain solver-tick state; DLS, never shared *)
 let sv_key : (int ref * int64 ref) Domain.DLS.key =
   Domain.DLS.new_key (fun () -> (ref 0, ref 0L))
 

@@ -14,7 +14,7 @@ let self_domain () = (Domain.self () :> int)
 type metric_kind = Counter | Gauge
 type metric = { m_name : string; m_kind : metric_kind; m_slot : int }
 
-let intern_mu = Mutex.create ()
+let intern_mu = Mutex.create () (* staticcheck: domain-safe interning lock; guards registry below *)
 
 (* staticcheck: domain-safe interning registry; every access takes intern_mu *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
@@ -224,6 +224,7 @@ let new_shard () =
     sh_buf = Buffer.create 256;
   }
 
+(* staticcheck: domain-safe per-domain metric shard; DLS, registered in the atomic shard list *)
 let shard_key : shard Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let s = new_shard () in
@@ -327,6 +328,17 @@ let histogram_snapshot () =
     (all_shards ());
   Hashtbl.fold (fun nm h acc -> (nm, h) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let zero m =
+  (* Quiescent-only, like [reset_metrics]: a plain [set m 0] clears
+     only the calling domain's cell, so a counter that accumulated in
+     worker shards would keep reporting their leftovers after a
+     "reset" — and a [delta] window spanning such a reset would go
+     negative.  Zero the metric's slot in every shard instead. *)
+  List.iter
+    (fun s ->
+      if m.m_slot < Array.length s.sh_values then s.sh_values.(m.m_slot) <- 0)
+    (all_shards ())
 
 let reset_metrics () =
   (* Quiescent-only (tests, harness boundaries): zero every shard's

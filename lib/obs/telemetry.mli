@@ -89,6 +89,13 @@ val reset_metrics : unit -> unit
     harnesses).  Call only at quiescent points — no live worker
     domains. *)
 
+val zero : metric -> unit
+(** Zero one metric across {e every} shard.  [set m 0] clears only the
+    calling domain's cell; after a parallel run a counter's total
+    would keep reporting the worker shards' contributions, and a
+    {!delta} window spanning such a reset would go negative.  Like
+    {!reset_metrics}, call only at quiescent points. *)
+
 (** {1 Histograms}
 
     Log-bucketed (base 2) integer distributions: bucket [0] holds

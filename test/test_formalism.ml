@@ -396,6 +396,101 @@ let golden_tests =
         [ (Re_step.Fast, "fast"); (Re_step.Reference, "reference") ])
     golden_cases
 
+(* The same golden counts through the wave-parallel lattice descent:
+   [Re_step.re ~jobs] must reproduce every shape (and, since shapes
+   pin the canonically sorted output, every problem) of the sequential
+   fast kernel at each pool width — DESIGN.md §9. *)
+let golden_parallel_tests =
+  List.concat_map
+    (fun (spec, after_r, after_re) ->
+      List.map
+        (fun jobs ->
+          Alcotest.test_case
+            (Printf.sprintf "%s (fast, jobs=%d)" spec jobs)
+            `Quick
+            (fun () ->
+              Re_step.set_kernel Re_step.Fast;
+              Re_step.clear_cache ();
+              let p = golden_problem spec in
+              check shape_t "after R" after_r
+                (shape (Re_step.r_black ~jobs p).Re_step.problem);
+              check shape_t "after RE" after_re (shape (Re_step.re ~jobs p))))
+        [ 1; 2; 4 ])
+    golden_cases
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio solver determinism: the reported certificate must not
+   depend on which start finishes first in wall-clock time.  The
+   [stall] harness forces adverse schedules — delaying start 0 lets a
+   higher start find a solution first — and the report must still be
+   the lowest-indexed decisive start's, i.e. start 0's on an instance
+   every ordering solves, which equals the plain sequential solve. *)
+
+module Solver = Slocal_model.Solver
+
+let bipartite_cycle k =
+  let g = Slocal_graph.Graph_gen.cycle (2 * k) in
+  Slocal_graph.Bipartite.make g
+    (Array.init (2 * k) (fun v ->
+         if v mod 2 = 0 then Slocal_graph.Bipartite.White
+         else Slocal_graph.Bipartite.Black))
+
+let test_portfolio_determinism () =
+  let support = bipartite_cycle 4 in
+  let solvable =
+    Problem.parse ~name:"free2" ~labels:[ "A"; "B" ] ~white:"[A B]^2"
+      ~black:"[A B]^2"
+  in
+  let expected =
+    match Solver.solve support solvable with
+    | Solver.Solution s -> s
+    | _ -> Alcotest.fail "sanity: the free problem must be solvable"
+  in
+  let stall_only i d j = if j = i then Unix.sleepf d in
+  List.iter
+    (fun (jobs, stall) ->
+      let outcome, winner =
+        Solver.solve_portfolio ~jobs ?stall ~starts:4 support solvable
+      in
+      (match outcome with
+      | Solver.Solution s ->
+          check bool_t "certificate = sequential solve" true (s = expected)
+      | Solver.No_solution | Solver.Budget_exceeded ->
+          Alcotest.fail "portfolio failed on a solvable instance");
+      check
+        (Alcotest.option int_t)
+        "winner is the lowest decisive start" (Some 0) winner)
+    [
+      (1, None);
+      (2, None);
+      (4, None);
+      (* Start 0 last to the finish line: the report must not change. *)
+      (2, Some (stall_only 0 0.05));
+      (4, Some (stall_only 0 0.05));
+      (* Start 1 delayed instead: still start 0's certificate. *)
+      (2, Some (stall_only 1 0.05));
+    ]
+
+let test_portfolio_unsat () =
+  (* White forces AA on every node, black forbids it: unsolvable, so
+     every start exhausts and the verdict carries no winner index. *)
+  let support = bipartite_cycle 3 in
+  let unsat =
+    Problem.parse ~name:"unsat2" ~labels:[ "A"; "B" ] ~white:"A A" ~black:"A B"
+  in
+  List.iter
+    (fun (jobs, stall) ->
+      let outcome, winner =
+        Solver.solve_portfolio ~jobs ?stall ~starts:3 support unsat
+      in
+      check bool_t "no solution" true (outcome = Solver.No_solution);
+      check (Alcotest.option int_t) "no winner index" None winner)
+    [
+      (1, None);
+      (3, None);
+      (3, Some (fun i -> if i = 0 then Unix.sleepf 0.03));
+    ]
+
 let test_kernels_agree_structurally () =
   (* Beyond the counts: both kernels emit the very same problem. *)
   List.iter
@@ -430,6 +525,46 @@ let test_re_cache_hits () =
   check int_t "post-clear recomputation is not a hit" 0
     (Slocal_obs.Telemetry.value hits);
   check bool_t "recomputed result equal" true (Problem.equal q1 q3)
+
+let test_re_cache_clear_under_parallel () =
+  (* Regression (PR 8): [clear_cache] used to zero only the calling
+     domain's telemetry shard, so re.cache_* counts recorded by pool
+     workers survived the clear — the merged value stayed positive and
+     any delta window opened right after a clear could go negative.
+     Run REs inside pool tasks, clear, and require a genuinely zeroed
+     measurement window. *)
+  let module Pool = Slocal_obs.Pool in
+  let hits = Slocal_obs.Telemetry.counter "re.cache_hits" in
+  let misses = Slocal_obs.Telemetry.counter "re.cache_misses" in
+  Re_step.set_kernel Re_step.Fast;
+  Re_step.clear_cache ();
+  let specs = [| "mm:3"; "arb:3:2"; "so:3"; "mm:3"; "arb:3:2"; "so:3" |] in
+  (* Worker domains query and fill the result cache, so their shards
+     carry nonzero hit/miss counts. *)
+  ignore
+    (Pool.run ~jobs:3 (Array.length specs) (fun i ->
+         Problem.canonical_hash (Re_step.re (golden_problem specs.(i)))));
+  check bool_t "parallel REs recorded cache traffic" true
+    (Slocal_obs.Telemetry.value hits + Slocal_obs.Telemetry.value misses > 0);
+  Re_step.clear_cache ();
+  check int_t "clear zeroes worker shards too (hits)" 0
+    (Slocal_obs.Telemetry.value hits);
+  check int_t "clear zeroes worker shards too (misses)" 0
+    (Slocal_obs.Telemetry.value misses);
+  (* A post-clear delta window must never see negative counts. *)
+  let before = Slocal_obs.Telemetry.snapshot () in
+  ignore (Re_step.re (golden_problem "mm:3"));
+  let d =
+    Slocal_obs.Telemetry.delta ~before
+      ~after:(Slocal_obs.Telemetry.snapshot ())
+  in
+  List.iter
+    (fun name ->
+      let v = Option.value ~default:0 (List.assoc_opt name d) in
+      check bool_t (name ^ " delta non-negative") true (v >= 0))
+    [ "re.cache_hits"; "re.cache_misses" ];
+  check int_t "fresh window: exactly one miss" 1
+    (Option.value ~default:0 (List.assoc_opt "re.cache_misses" d))
 
 let prop_random_problem_roundtrip =
   (* Random small problems round-trip through the document format. *)
@@ -552,11 +687,21 @@ let () =
           Alcotest.test_case "sequence degenerate cases" `Quick test_sequence_empty_and_singleton;
         ] );
       ("golden RE", golden_tests);
+      ("golden RE parallel", golden_parallel_tests);
+      ( "portfolio",
+        [
+          Alcotest.test_case "deterministic under stalling starts" `Quick
+            test_portfolio_determinism;
+          Alcotest.test_case "unsat: stop-all, no winner" `Quick
+            test_portfolio_unsat;
+        ] );
       ( "kernel",
         [
           Alcotest.test_case "fast = reference structurally" `Quick
             test_kernels_agree_structurally;
           Alcotest.test_case "result cache" `Quick test_re_cache_hits;
+          Alcotest.test_case "cache clear under parallel runs" `Quick
+            test_re_cache_clear_under_parallel;
         ] );
       ("properties", qsuite);
     ]

@@ -810,6 +810,20 @@ let test_shard_merge_order_insensitive () =
   check (Alcotest.pair int_t int_t) "permutation c" a d;
   check (Alcotest.pair int_t int_t) "sum and max" (6, 3) a
 
+let test_zero_across_shards () =
+  with_clean_telemetry @@ fun () ->
+  (* [set m 0] only writes the calling domain's shard, so counts
+     recorded by pool workers survive it — the bug behind negative
+     cache-counter deltas.  [zero] clears every shard. *)
+  let c = Telemetry.counter "test.zero.counter" in
+  Telemetry.add c 2;
+  ignore (Pool.run ~jobs:3 6 (fun i -> Telemetry.incr c; i));
+  check int_t "worker increments merged" 8 (Telemetry.value c);
+  Telemetry.set c 0;
+  check bool_t "set 0 leaves worker-shard residue" true (Telemetry.value c > 0);
+  Telemetry.zero c;
+  check int_t "zero clears every shard" 0 (Telemetry.value c)
+
 let test_pool_parity () =
   with_clean_telemetry @@ fun () ->
   let f i = (i * i) + 1 in
@@ -848,6 +862,105 @@ let test_pool_exception () =
   with_clean_telemetry @@ fun () ->
   Alcotest.check_raises "first task exception re-raised after joins" Exit
     (fun () -> ignore (Pool.run ~jobs:2 8 (fun i -> if i = 3 then raise Exit)))
+
+let test_pool_width_exceeds_tasks () =
+  with_clean_telemetry @@ fun () ->
+  (* More workers than tasks: the surplus workers find nothing to
+     claim and still join cleanly; accounting is unchanged. *)
+  check bool_t "results correct" true
+    (Pool.run ~jobs:8 3 (fun i -> i * 10) = [| 0; 10; 20 |]);
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  check int_t "submitted" 3 (v "par.tasks_submitted");
+  check int_t "completed" 3 (v "par.tasks_completed");
+  (* The pool clamps the width to the task count, so only
+     min(jobs, n) - 1 = 2 workers are ever spawned and merged. *)
+  check int_t "spawned workers merged" 2 (v "par.merges");
+  check int_t "width clamped to the task count" 3 (v "par.jobs");
+  check bool_t "region closed" false (Pool.parallel_active ())
+
+let test_pool_zero_tasks () =
+  with_clean_telemetry @@ fun () ->
+  check bool_t "empty result" true (Pool.run ~jobs:4 0 (fun i -> i) = [||]);
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  (* n <= 1 stays on the inline sequential path: no domains, no region. *)
+  check int_t "nothing submitted or merged" 0
+    (v "par.tasks_completed" + v "par.merges");
+  check bool_t "no region opened" false (Pool.parallel_active ())
+
+let test_pool_last_task_exception () =
+  with_clean_telemetry @@ fun () ->
+  (* The failing task is the LAST one, so the worker that claims it is
+     the last to steal work while the others are already draining; the
+     exception must still surface after every join, and the parallel
+     region must be closed on the way out. *)
+  Alcotest.check_raises "last-claimed task exception re-raised" Exit (fun () ->
+      ignore (Pool.run ~jobs:4 8 (fun i -> if i = 7 then raise Exit)));
+  check bool_t "region closed after exception" false (Pool.parallel_active ())
+
+let test_pool_cancellation () =
+  with_clean_telemetry @@ fun () ->
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  (* Sequential path: exact semantics — tasks after the stop are
+     skipped, their slots stay None, and par.tasks_cancelled counts
+     them. *)
+  let stop = Atomic.make false in
+  let r =
+    Pool.run_stoppable ~jobs:1 ~stop 10 (fun i ->
+        if i = 2 then Atomic.set stop true;
+        i)
+  in
+  check bool_t "prefix ran" true
+    (r.(0) = Some 0 && r.(1) = Some 1 && r.(2) = Some 2);
+  check bool_t "suffix skipped" true
+    (Array.for_all (( = ) None) (Array.sub r 3 7));
+  check int_t "cancelled = skipped tasks" 7 (v "par.tasks_cancelled");
+  (* Parallel path: the exact split is schedule-dependent, but the
+     books must balance — every submitted task is either completed
+     (with a Some slot) or cancelled (with a None slot). *)
+  Telemetry.reset_metrics ();
+  let stop = Atomic.make false in
+  let r =
+    Pool.run_stoppable ~jobs:3 ~stop 20 (fun i ->
+        if i = 2 then Atomic.set stop true;
+        i)
+  in
+  let some = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 r in
+  check int_t "completed = Some slots" some (v "par.tasks_completed");
+  check int_t "completed + cancelled = submitted" 20
+    (some + v "par.tasks_cancelled");
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some x -> check int_t "slot holds its own index" i x
+      | None -> ())
+    r;
+  check bool_t "stop observed" true (Atomic.get stop)
+
+let test_pool_nested_run () =
+  with_clean_telemetry @@ fun () ->
+  (* A task that calls Pool.run again must not deadlock or oversubscribe:
+     the inner parallel request degrades to the sequential path (counted
+     in par.nested_runs) and still returns correct results. *)
+  let r =
+    Pool.run ~jobs:2 4 (fun i ->
+        Array.to_list (Pool.run ~jobs:3 3 (fun j -> (10 * i) + j)))
+  in
+  check bool_t "nested results correct" true
+    (r = [| [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] |]);
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Telemetry.snapshot ()))
+  in
+  check bool_t "nested parallel requests degraded and were counted" true
+    (v "par.nested_runs" >= 1);
+  (* Only the outer region spawned domains. *)
+  check int_t "merges from the outer run only" 1 (v "par.merges");
+  check bool_t "region closed" false (Pool.parallel_active ())
 
 let test_jsonl_multi_domain () =
   with_clean_telemetry @@ fun () ->
@@ -1001,9 +1114,19 @@ let () =
           Alcotest.test_case "shard merge" `Quick test_shard_merge;
           Alcotest.test_case "merge order-insensitive" `Quick
             test_shard_merge_order_insensitive;
+          Alcotest.test_case "zero clears all shards" `Quick
+            test_zero_across_shards;
           Alcotest.test_case "pool parity" `Quick test_pool_parity;
           Alcotest.test_case "pool accounting" `Quick test_pool_counters;
           Alcotest.test_case "pool exception" `Quick test_pool_exception;
+          Alcotest.test_case "width exceeds task count" `Quick
+            test_pool_width_exceeds_tasks;
+          Alcotest.test_case "zero tasks" `Quick test_pool_zero_tasks;
+          Alcotest.test_case "exception in the last task" `Quick
+            test_pool_last_task_exception;
+          Alcotest.test_case "cancellation mid-batch" `Quick
+            test_pool_cancellation;
+          Alcotest.test_case "nested run degrades" `Quick test_pool_nested_run;
           Alcotest.test_case "multi-domain jsonl trace" `Quick
             test_jsonl_multi_domain;
           Alcotest.test_case "mixed /1 + /2 trace" `Quick
