@@ -1004,6 +1004,9 @@ type experiment_record = {
   id : string;
   title : string;
   wall_ns : int;
+  alloc_b : int;
+  minor_n : int;
+  major_n : int;
   counters : (string * int) list;
 }
 
@@ -1017,14 +1020,45 @@ let run_experiment (id, title, f) =
      experiments ran before (e.g. full tables vs the --quick subset).
      [clear_cache] also zeroes the re.cache_* counters, which is what
      the per-experiment delta below wants: the [before] snapshot is
-     taken after the clear. *)
+     taken after the clear.  The same cold start makes [alloc_b]
+     deterministic per experiment, which is what the tight alloc gate
+     stands on.
+
+     [alloc_b] is the [minor_words] delta (in bytes) with a forced
+     minor collection at both endpoints.  Not [Gc.allocated_bytes]:
+     on this runtime (OCaml 5.1) words promoted out of the minor heap
+     are added to [major_words] without being counted in
+     [promoted_words], so allocated-bytes deltas inflate by however
+     much live data each in-region minor collection happens to
+     promote — which depends on where the young generation's phase
+     landed, not on the experiment.  The minor-words delta counts
+     every minor-heap allocation exactly once regardless of
+     collection timing; the endpoint [Gc.minor] flushes fold the
+     still-young tail into the counter. *)
   Re_step.clear_cache ();
   let before = Telemetry.snapshot () in
+  Gc.minor ();
+  let q0 = Gc.quick_stat () in
   let t0 = Telemetry.now_ns () in
   f ();
   let t1 = Telemetry.now_ns () in
+  Gc.minor ();
+  let q1 = Gc.quick_stat () in
+  let alloc_b =
+    int_of_float
+      ((q1.Gc.minor_words -. q0.Gc.minor_words)
+      *. float_of_int (Sys.word_size / 8))
+  in
   let counters = Telemetry.delta ~before ~after:(Telemetry.snapshot ()) in
-  { id; title; wall_ns = Int64.to_int (Int64.sub t1 t0); counters }
+  {
+    id;
+    title;
+    wall_ns = Int64.to_int (Int64.sub t1 t0);
+    alloc_b;
+    minor_n = q1.Gc.minor_collections - q0.Gc.minor_collections;
+    major_n = q1.Gc.major_collections - q0.Gc.major_collections;
+    counters;
+  }
 
 let experiment_to_json e : Json.t =
   Json.Obj
@@ -1032,6 +1066,9 @@ let experiment_to_json e : Json.t =
       ("id", Json.String e.id);
       ("title", Json.String e.title);
       ("wall_ns", Json.Int e.wall_ns);
+      ("alloc_b", Json.Int e.alloc_b);
+      ("minor_n", Json.Int e.minor_n);
+      ("major_n", Json.Int e.major_n);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters) );
     ]
@@ -1114,6 +1151,18 @@ let validate file =
               let* _ = check_string title "title" in
               let* wall = field e "wall_ns" in
               let* () = check_int wall "wall_ns" in
+              (* Additive alloc fields: absent on older reports, must
+                 be integers when present. *)
+              let* () =
+                List.fold_left
+                  (fun acc k ->
+                    let* () = acc in
+                    match Json.member k e with
+                    | None -> Ok ()
+                    | Some v -> check_int v (id ^ "." ^ k))
+                  (Ok ())
+                  [ "alloc_b"; "minor_n"; "major_n" ]
+              in
               let* counters = field e "counters" in
               match Json.as_obj counters with
               | None -> Error (Printf.sprintf "%s: \"counters\" is not an object" id)
@@ -1166,64 +1215,34 @@ let load_report file =
   | Error msg -> Error ("invalid JSON: " ^ msg)
   | Ok json -> Ok json
 
+(* Extraction and gate arithmetic live in Slocal_analysis.Bench_report
+   so the forward-compat contract is unit-testable; these wrappers
+   keep the harness-local shapes. *)
+module BR = Slocal_analysis.Bench_report
+
 (* id -> (wall_ns option, counters), in file order. *)
 let experiments_of json =
-  match Json.member "experiments" json with
-  | None -> []
-  | Some exps ->
-      List.filter_map
-        (fun e ->
-          match Option.bind (Json.member "id" e) Json.as_string with
-          | None -> None
-          | Some id ->
-              let wall = Option.bind (Json.member "wall_ns" e) Json.as_int in
-              let counters =
-                match
-                  Option.bind (Json.member "counters" e) Json.as_obj
-                with
-                | None -> []
-                | Some kvs ->
-                    List.filter_map
-                      (fun (k, v) ->
-                        Option.map (fun n -> (k, n)) (Json.as_int v))
-                      kvs
-              in
-              Some (id, (wall, counters)))
-        (Option.value ~default:[] (Json.as_list exps))
+  List.map
+    (fun e -> (e.BR.ex_id, (e.BR.ex_wall_ns, e.BR.ex_counters)))
+    (BR.experiments_of json)
 
 (* id -> re.enum_nodes, for experiments that report the counter. *)
-let enum_nodes json =
-  List.filter_map
-    (fun (id, (_, counters)) ->
-      Option.map
-        (fun n -> (id, n))
-        (List.assoc_opt "re.enum_nodes" counters))
-    (experiments_of json)
+let enum_nodes = BR.enum_nodes
+let benchmarks_of = BR.benchmarks_of
 
-let benchmarks_of json =
-  match Json.member "benchmarks" json with
-  | None -> []
-  | Some l ->
-      List.filter_map
-        (fun b ->
-          match
-            ( Option.bind (Json.member "name" b) Json.as_string,
-              Option.bind (Json.member "ns_per_run" b) Json.as_float )
-          with
-          | Some name, Some ns -> Some (name, ns)
-          | _ -> None)
-        (Option.value ~default:[] (Json.as_list l))
-
-(* The CI gate: current may not exceed baseline by more than 10%. *)
-let gate_ratio = 1.10
-
-let ratio_of cur base = float_of_int cur /. float_of_int (max 1 base)
-let breaches_gate ~base ~cur = float_of_int cur > float_of_int base *. gate_ratio
+(* The CI gates: re.enum_nodes at 1.10x, alloc_b at 1.02x. *)
+let gate_ratio = BR.gate_ratio
+let alloc_gate_ratio = BR.alloc_gate_ratio
+let ratio_of = BR.ratio_of
+let breaches_gate ~base ~cur = BR.breaches ~ratio:gate_ratio ~base ~cur
 
 (* Regression gate between two slocal.bench/1 files: for every
    experiment id present in both, the current [re.enum_nodes] may not
-   exceed the baseline by more than 10%.  Returns the exit code
-   (0 within tolerance, 1 regressed or unreadable). *)
+   exceed the baseline by more than 10%, and the current [alloc_b] may
+   not exceed the baseline by more than 2% (deterministic sequential
+   allocation; parallel experiments exempt, reports lacking the alloc
+   fields skipped-and-noted).  Returns the exit code (0 within
+   tolerance, 1 regressed or unreadable). *)
 let compare_reports baseline_file current_file =
   match (load_report baseline_file, load_report current_file) with
   | Error msg, _ ->
@@ -1247,18 +1266,46 @@ let compare_reports baseline_file current_file =
                 c (ratio_of c b)
                 (if flag then "  REGRESSED" else ""))
         base;
-      if !compared = 0 then begin
-        Printf.eprintf "compare: no shared experiments report re.enum_nodes\n";
+      let alloc = BR.alloc_gate ~baseline ~current in
+      let alloc_regressions = ref 0 in
+      List.iter
+        (fun (ck : BR.alloc_check) ->
+          if ck.BR.ac_breach then incr alloc_regressions;
+          Printf.printf "%-10s alloc_b %12d -> %12d  (%.3fx)%s\n" ck.BR.ac_id
+            ck.BR.ac_base ck.BR.ac_cur
+            (ratio_of ck.BR.ac_cur ck.BR.ac_base)
+            (if ck.BR.ac_breach then "  REGRESSED"
+             else if ck.BR.ac_exempt then "  (exempt: parallel)"
+             else ""))
+        alloc.BR.checks;
+      List.iter
+        (Printf.printf
+           "%-10s alloc_b skipped (report predates the alloc fields)\n")
+        alloc.BR.skipped;
+      if !compared = 0 && alloc.BR.checks = [] then begin
+        Printf.eprintf
+          "compare: no shared experiments report re.enum_nodes or alloc_b\n";
         1
       end
-      else if !regressions > 0 then begin
-        Printf.printf "%d of %d experiment(s) regressed beyond 1.10x\n"
-          !regressions !compared;
+      else if !regressions > 0 || !alloc_regressions > 0 then begin
+        if !regressions > 0 then
+          Printf.printf "%d of %d experiment(s) regressed beyond 1.10x\n"
+            !regressions !compared;
+        if !alloc_regressions > 0 then
+          Printf.printf
+            "%d experiment(s) regressed beyond %.2fx on allocation\n"
+            !alloc_regressions alloc_gate_ratio;
         1
       end
       else begin
-        Printf.printf "all %d shared experiment(s) within 1.10x of baseline\n"
-          !compared;
+        Printf.printf
+          "all %d shared experiment(s) within 1.10x of baseline%s\n" !compared
+          (if alloc.BR.checks <> [] then
+             Printf.sprintf " (and %d within %.2fx on allocation)"
+               (List.length
+                  (List.filter (fun c -> not c.BR.ac_exempt) alloc.BR.checks))
+               alloc_gate_ratio
+           else "");
         0
       end
 
@@ -1295,9 +1342,12 @@ let report_markdown baseline_file current_file =
       in
       p "# Bench regression report\n\n";
       p "baseline: `%s` — current: `%s`\n\n" baseline_file current_file;
-      p "Gate: per-experiment `re.enum_nodes` may not exceed the baseline \
-         by more than %.0f%%.\n\n"
-        ((gate_ratio -. 1.) *. 100.);
+      p "Gates: per-experiment `re.enum_nodes` may not exceed the baseline \
+         by more than %.0f%%; per-experiment `alloc_b` by more than %.0f%% \
+         (deterministic sequential allocation; parallel experiments \
+         exempt).\n\n"
+        ((gate_ratio -. 1.) *. 100.)
+        ((alloc_gate_ratio -. 1.) *. 100.);
       (* --- per-experiment wall clock and the gated counter --- *)
       p "## Experiments\n\n";
       p "| id | wall (base) | wall (cur) | wall Δ | enum_nodes (base) | \
@@ -1377,6 +1427,29 @@ let report_markdown baseline_file current_file =
             p "| %s | `%s` | %d | %d | %.2fx |\n" id k b c (ratio_of c b))
           notable
       end;
+      (* --- the allocation gate --- *)
+      let alloc = BR.alloc_gate ~baseline ~current in
+      let alloc_regressions = ref 0 in
+      p "\n## Allocation\n\n";
+      if alloc.BR.checks = [] && alloc.BR.skipped = [] then
+        p "No shared experiment carries `alloc_b`.\n"
+      else begin
+        p "| id | alloc (base) | alloc (cur) | Δ | gate |\n";
+        p "|---|---:|---:|---:|---|\n";
+        List.iter
+          (fun (ck : BR.alloc_check) ->
+            if ck.BR.ac_breach then incr alloc_regressions;
+            p "| %s | %d | %d | %.3fx | %s |\n" ck.BR.ac_id ck.BR.ac_base
+              ck.BR.ac_cur
+              (ratio_of ck.BR.ac_cur ck.BR.ac_base)
+              (if ck.BR.ac_breach then "**REGRESSED**"
+               else if ck.BR.ac_exempt then "exempt (parallel)"
+               else "ok"))
+          alloc.BR.checks;
+        List.iter
+          (fun id -> p "| %s | – | – | – | skipped (older report) |\n" id)
+          alloc.BR.skipped
+      end;
       (* --- microbenchmarks (informational, not gated: timings are
              machine-dependent) --- *)
       let base_micro = benchmarks_of baseline
@@ -1404,14 +1477,21 @@ let report_markdown baseline_file current_file =
            **FAIL**\n";
         1
       end
-      else if !regressions > 0 then begin
-        p "%d of %d gated experiment(s) regressed beyond %.2fx. **FAIL**\n"
-          !regressions !gated gate_ratio;
+      else if !regressions > 0 || !alloc_regressions > 0 then begin
+        if !regressions > 0 then
+          p "%d of %d gated experiment(s) regressed beyond %.2fx. **FAIL**\n"
+            !regressions !gated gate_ratio;
+        if !alloc_regressions > 0 then
+          p "%d experiment(s) regressed beyond %.2fx on allocation. **FAIL**\n"
+            !alloc_regressions alloc_gate_ratio;
         1
       end
       else begin
-        p "All %d gated experiment(s) within %.2fx of baseline. **PASS**\n"
-          !gated gate_ratio;
+        p "All %d gated experiment(s) within %.2fx of baseline%s. **PASS**\n"
+          !gated gate_ratio
+          (if alloc.BR.checks <> [] then
+             Printf.sprintf " (allocation within %.2fx)" alloc_gate_ratio
+           else "");
         0
       end
 
@@ -1460,56 +1540,76 @@ let history files =
       [] loaded
   in
   p "# Bench history (%d report(s))\n" (List.length loaded);
-  p "\nGate: the newest `re.enum_nodes` of each experiment may not exceed \
-     the median of up to %d previous report(s) by more than %.0f%%.\n"
+  p "\nGates: the newest `re.enum_nodes` of each experiment may not exceed \
+     the median of up to %d previous report(s) by more than %.0f%%; the \
+     newest `alloc_b` by more than %.0f%% (reports predating the alloc \
+     fields are skipped).\n"
     history_window
-    ((gate_ratio -. 1.) *. 100.);
+    ((gate_ratio -. 1.) *. 100.)
+    ((alloc_gate_ratio -. 1.) *. 100.);
   let regressions = ref 0 in
   List.iter
     (fun id ->
       let series =
         List.map
           (fun (file, json) ->
-            (file, List.assoc_opt id (experiments_of json)))
+            ( file,
+              List.find_opt (fun e -> e.BR.ex_id = id) (BR.experiments_of json)
+            ))
           loaded
       in
       p "\n## %s\n\n" id;
-      p "| report | wall | re.enum_nodes |\n";
-      p "|---|---:|---:|\n";
+      p "| report | wall | re.enum_nodes | alloc_b |\n";
+      p "|---|---:|---:|---:|\n";
       List.iter
         (fun (file, entry) ->
           match entry with
-          | None -> p "| %s | – | – |\n" file
-          | Some (wall, counters) ->
-              p "| %s | %s | %s |\n" file
-                (match wall with Some w -> pretty_ns w | None -> "–")
-                (match List.assoc_opt "re.enum_nodes" counters with
+          | None -> p "| %s | – | – | – |\n" file
+          | Some e ->
+              p "| %s | %s | %s | %s |\n" file
+                (match e.BR.ex_wall_ns with
+                | Some w -> pretty_ns w
+                | None -> "–")
+                (match List.assoc_opt "re.enum_nodes" e.BR.ex_counters with
                 | Some n -> string_of_int n
+                | None -> "–")
+                (match e.BR.ex_alloc_b with
+                | Some a -> string_of_int a
                 | None -> "–"))
         series;
-      let enum_series =
-        List.filter_map
-          (fun (_, entry) ->
-            Option.bind entry (fun (_, counters) ->
-                List.assoc_opt "re.enum_nodes" counters))
-          series
+      (* One median-of-window trend per gated metric; [None] entries
+         (absent experiment, or a report predating the alloc fields)
+         simply drop out of the series. *)
+      let trend ~label ~ratio values =
+        match List.rev values with
+        | [] -> p "\ntrend: no report carries `%s` for %s\n" label id
+        | [ _ ] -> p "\ntrend (%s): only one datapoint; nothing to gate\n" label
+        | latest :: previous_rev -> (
+            let window =
+              List.filteri (fun i _ -> i < history_window) previous_rev
+            in
+            match median_of window with
+            | None -> ()
+            | Some median ->
+                let flag = BR.breaches ~ratio ~base:median ~cur:latest in
+                if flag then incr regressions;
+                p
+                  "\ntrend (%s): latest %d vs median-of-previous %d (%.3fx) \
+                   — %s\n"
+                  label latest median (ratio_of latest median)
+                  (if flag then "**REGRESSED**" else "ok"))
       in
-      match List.rev enum_series with
-      | [] -> p "\ntrend: no report carries `re.enum_nodes` for %s\n" id
-      | [ _ ] -> p "\ntrend: only one datapoint; nothing to gate\n"
-      | latest :: previous_rev -> (
-          let window =
-            List.filteri (fun i _ -> i < history_window) previous_rev
-          in
-          match median_of window with
-          | None -> ()
-          | Some median ->
-              let flag = breaches_gate ~base:median ~cur:latest in
-              if flag then incr regressions;
-              p
-                "\ntrend: latest %d vs median-of-previous %d (%.2fx) — %s\n"
-                latest median (ratio_of latest median)
-                (if flag then "**REGRESSED**" else "ok")))
+      trend ~label:"re.enum_nodes" ~ratio:gate_ratio
+        (List.filter_map
+           (fun (_, entry) ->
+             Option.bind entry (fun e ->
+                 List.assoc_opt "re.enum_nodes" e.BR.ex_counters))
+           series);
+      if not (List.mem id BR.alloc_exempt_ids) then
+        trend ~label:"alloc_b" ~ratio:alloc_gate_ratio
+          (List.filter_map
+             (fun (_, entry) -> Option.bind entry (fun e -> e.BR.ex_alloc_b))
+             series))
     ids;
   p "\n## Verdict\n\n";
   if ids = [] then begin
@@ -1517,15 +1617,15 @@ let history files =
     1
   end
   else if !regressions > 0 then begin
-    p "%d experiment(s) regressed beyond %.2fx of their trailing median. \
-       **FAIL**\n"
-      !regressions gate_ratio;
+    p "%d trend(s) regressed beyond their gate ratio (%.2fx nodes, %.2fx \
+       alloc) of the trailing median. **FAIL**\n"
+      !regressions gate_ratio alloc_gate_ratio;
     1
   end
   else begin
-    p "All gated experiments within %.2fx of their trailing median. \
-       **PASS**\n"
-      gate_ratio;
+    p "All gated trends within their gate ratio (%.2fx nodes, %.2fx alloc) \
+       of the trailing median. **PASS**\n"
+      gate_ratio alloc_gate_ratio;
     0
   end
 

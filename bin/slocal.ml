@@ -19,8 +19,8 @@
 
    The kernel-facing subcommands (re, lift, solve, gen, audit, stats,
    sequence, sweep) accept [--trace FILE] to record a JSONL telemetry
-   trace (schema slocal.trace/2, domain-tagged; see DESIGN.md) and
-   [--metrics] to print the
+   trace (schema slocal.trace/3, domain-tagged with per-span GC-work
+   deltas; see DESIGN.md) and [--metrics] to print the
    counter summary to stderr on exit; each of them also appends one
    slocal.run/1 manifest record to the run ledger (SLOCAL_LEDGER or
    .slocal/runs.jsonl; "off" disables).  re/solve/sequence/audit/stats
@@ -28,8 +28,9 @@
    on exit) and [--progress] (throttled stderr heartbeat; on by
    default when stderr is a TTY).  [trace report FILE] reads a trace
    back and prints a profile (span tree self-times, hotspots, critical
-   path, provenance table), with [--json] (schema slocal.profile/1),
-   [--folded] (flamegraph.pl / speedscope) and [--timeline]
+   path, provenance table), with [--alloc] (self/cumulative
+   allocation), [--json] (schema slocal.profile/1), [--folded] /
+   [--folded-alloc] (flamegraph.pl / speedscope) and [--timeline]
    (per-domain lanes, utilization) outputs.
 
    Problems are selected from the built-in families of the paper:
@@ -130,8 +131,9 @@ let trace_opt =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Record a JSONL telemetry trace (schema slocal.trace/1) to $(docv): \
-           spans over the hot kernels plus a final counter snapshot.")
+          "Record a JSONL telemetry trace (schema slocal.trace/3) to $(docv): \
+           spans over the hot kernels (with allocation and GC-work deltas) \
+           plus a final counter snapshot.")
 
 let metrics_flag =
   Arg.(
@@ -662,6 +664,9 @@ let stats_cmd =
           "gc.major_collections";
           "gc.heap_words";
           "gc.top_heap_words";
+          "gc.minor_words";
+          "gc.promoted_words";
+          "gc.major_words";
         ];
       Format.printf "%a@?" Telemetry.pp_summary ()
     end
@@ -687,8 +692,9 @@ let trace_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"TRACE"
           ~doc:
-            "A JSONL trace recorded with --trace (schema slocal.trace/2; \
-             legacy slocal.trace/1 files read as single-domain).")
+            "A JSONL trace recorded with --trace (schema slocal.trace/3; \
+             legacy slocal.trace/1 and /2 files read with zero GC-work \
+             deltas, /1 as single-domain).")
   in
   let json_out =
     Arg.(
@@ -709,6 +715,16 @@ let trace_cmd =
              format, weights in self-time nanoseconds) to $(docv) ($(b,-) \
              for stdout).")
   in
+  let folded_alloc_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded-alloc" ] ~docv:"FILE"
+          ~doc:
+            "Write bytes-weighted folded stacks (collapsed format, weights \
+             in self-allocation bytes — an allocation flamegraph) to \
+             $(docv) ($(b,-) for stdout).")
+  in
   let top =
     Arg.(
       value & opt int 10
@@ -723,6 +739,16 @@ let trace_cmd =
              per-domain lanes, the concurrent-busy-domains histogram, \
              utilization, serial fraction, and each lane's critical path.")
   in
+  let alloc_flag =
+    Arg.(
+      value & flag
+      & info [ "alloc" ]
+          ~doc:
+            "Print the allocation profile instead of the time profile: \
+             self/cumulative allocation hotspots with per-name GC-work \
+             counts, the allocation-weighted critical path, and per-domain \
+             allocation-rate lanes.")
+  in
   let write_output what file text =
     match file with
     | "-" -> print_string text
@@ -732,7 +758,7 @@ let trace_cmd =
         close_out oc;
         Format.eprintf "wrote %s %s@." what file
   in
-  let run trace_file json_out folded_out top timeline =
+  let run trace_file json_out folded_out folded_alloc_out top timeline alloc =
     let profile = Profile.of_file trace_file in
     (* An empty or fully-damaged trace means there is nothing to
        profile: a loud SL040 diagnostic and exit 1 instead of a
@@ -751,7 +777,9 @@ let trace_cmd =
     end;
     (match profile.Profile.schema with
     | Some s
-      when s <> Telemetry.trace_schema_version && s <> "slocal.trace/1" ->
+      when s <> Telemetry.trace_schema_version
+           && s <> "slocal.trace/1"
+           && s <> "slocal.trace/2" ->
         Format.eprintf "trace report: warning: unknown trace schema %S@." s
     | Some _ -> ()
     | None ->
@@ -773,9 +801,15 @@ let trace_cmd =
         write_output "folded stacks" file
           (Profile.folded_to_string (Profile.folded profile))
     | None -> ());
+    (match folded_alloc_out with
+    | Some file ->
+        write_output "folded alloc stacks" file
+          (Profile.folded_to_string (Profile.folded_alloc profile))
+    | None -> ());
     if timeline then Format.printf "%a@?" Profile.pp_timeline profile
-    else if json_out = None && folded_out = None then
-      Format.printf "%a@?" (Profile.pp ~top) profile
+    else if alloc then Format.printf "%a@?" (Profile.pp_alloc ~top) profile
+    else if json_out = None && folded_out = None && folded_alloc_out = None
+    then Format.printf "%a@?" (Profile.pp ~top) profile
   in
   let report =
     Cmd.v
@@ -783,8 +817,11 @@ let trace_cmd =
          ~doc:
            "Profile a recorded trace: span-tree self times, hotspots, \
             critical path, counter attribution, provenance table; \
-            --timeline for the multi-domain parallelism report")
-      Term.(const run $ file_arg $ json_out $ folded_out $ top $ timeline_flag)
+            --alloc for the self/cumulative allocation report; --timeline \
+            for the multi-domain parallelism report")
+      Term.(
+        const run $ file_arg $ json_out $ folded_out $ folded_alloc_out $ top
+        $ timeline_flag $ alloc_flag)
   in
   Cmd.group
     (Cmd.info "trace" ~doc:"Analyze recorded telemetry traces")
@@ -1228,6 +1265,9 @@ let runs_cmd =
         r.Ledger.exit_code;
       Option.iter (Format.printf "  kernel:   %s@.") r.Ledger.kernel;
       Option.iter (Format.printf "  seed:     %d@.") r.Ledger.seed;
+      if r.Ledger.alloc_b > 0 || r.Ledger.majors > 0 then
+        Format.printf "  gc:       %dB allocated, %d major cycle(s), peak heap %d words@."
+          r.Ledger.alloc_b r.Ledger.majors r.Ledger.top_heap_words;
       if r.Ledger.problems <> [] then begin
         Format.printf "  problems:@.";
         List.iter
@@ -1289,6 +1329,23 @@ let runs_cmd =
       Format.printf "B: %s  %s@." b.Ledger.id (truncate 60 (argv_line b));
       Format.printf "wall: %.2fs -> %.2fs@." (Ledger.wall_seconds a)
         (Ledger.wall_seconds b);
+      (* Allocation delta between the runs (0 on pre-alloc records:
+         skip rather than print a misleading -100%). *)
+      if a.Ledger.alloc_b > 0 || b.Ledger.alloc_b > 0 then begin
+        let pct =
+          if a.Ledger.alloc_b = 0 then ""
+          else
+            Printf.sprintf " (%+.1f%%)"
+              (100.
+              *. float_of_int (b.Ledger.alloc_b - a.Ledger.alloc_b)
+              /. float_of_int a.Ledger.alloc_b)
+        in
+        Format.printf "alloc: %dB -> %dB%s@." a.Ledger.alloc_b b.Ledger.alloc_b
+          pct;
+        Format.printf "majors: %d -> %d; peak heap %d -> %d words@."
+          a.Ledger.majors b.Ledger.majors a.Ledger.top_heap_words
+          b.Ledger.top_heap_words
+      end;
       (match (a.Ledger.kernel, b.Ledger.kernel) with
       | Some ka, Some kb when ka <> kb ->
           Format.printf "kernel: %s -> %s@." ka kb
@@ -1310,7 +1367,9 @@ let runs_cmd =
     in
     Cmd.v
       (Cmd.info "diff"
-         ~doc:"Compare two recorded runs (wall time and counter deltas)")
+         ~doc:
+           "Compare two recorded runs (wall time, allocation and counter \
+            deltas)")
       Term.(const run $ ledger_opt $ id_a $ id_b)
   in
   let gc_cmd =

@@ -16,6 +16,8 @@ type span = {
   t0 : int64;
   mutable t1 : int64;
   mutable alloc_b : int;
+  mutable minor_n : int;
+  mutable major_n : int;
   mutable closed : bool;
   mutable children : span list;  (* in open order *)
 }
@@ -53,6 +55,13 @@ let dur_ns s = Int64.to_int (Int64.sub s.t1 s.t0)
 let self_ns s =
   let child = List.fold_left (fun a c -> a + dur_ns c) 0 s.children in
   max 0 (dur_ns s - child)
+
+(* Allocation mirrors the time accounting exactly: cumulative bytes
+   minus the children's cumulative bytes, clamped at 0, so the self
+   allocations over a tree sum to the root's cumulative bytes. *)
+let self_alloc_b s =
+  let child = List.fold_left (fun a c -> a + c.alloc_b) 0 s.children in
+  max 0 (s.alloc_b - child)
 
 let rec iter_spans f s =
   f s;
@@ -147,6 +156,8 @@ let of_events ?(skipped = 0) events =
               t0 = t_ns;
               t1 = t_ns;
               alloc_b = 0;
+              minor_n = 0;
+              major_n = 0;
               closed = false;
               children = [];
             }
@@ -160,12 +171,15 @@ let of_events ?(skipped = 0) events =
           | None -> roots := !roots @ [ s ]);
           let st = stack_of domain in
           st := s :: !st
-      | Telemetry.Span_close { id; t_ns; alloc_b; domain; _ } ->
+      | Telemetry.Span_close { id; t_ns; alloc_b; minor_n; major_n; domain; _ }
+        ->
           see_t t_ns;
           (match Hashtbl.find_opt by_id id with
           | Some s ->
               s.t1 <- t_ns;
               s.alloc_b <- alloc_b;
+              s.minor_n <- minor_n;
+              s.major_n <- major_n;
               s.closed <- true
           | None -> ());
           let st = stack_of domain in
@@ -235,6 +249,9 @@ type total = {
   cum_ns : int;
   self_total_ns : int;
   alloc_total_b : int;
+  self_alloc_total_b : int;
+  minor_total_n : int;
+  major_total_n : int;
   max_ns : int;
 }
 
@@ -255,6 +272,9 @@ let totals ?domain t =
                    cum_ns = 0;
                    self_total_ns = 0;
                    alloc_total_b = 0;
+                   self_alloc_total_b = 0;
+                   minor_total_n = 0;
+                   major_total_n = 0;
                    max_ns = 0;
                  }
            in
@@ -265,6 +285,9 @@ let totals ?domain t =
                cum_ns = prev.cum_ns + d;
                self_total_ns = prev.self_total_ns + self;
                alloc_total_b = prev.alloc_total_b + s.alloc_b;
+               self_alloc_total_b = prev.self_alloc_total_b + self_alloc_b s;
+               minor_total_n = prev.minor_total_n + s.minor_n;
+               major_total_n = prev.major_total_n + s.major_n;
                max_ns = max prev.max_ns d;
              }
          end))
@@ -274,8 +297,13 @@ let totals ?domain t =
 
 let total_wall_ns t = List.fold_left (fun a r -> a + dur_ns r) 0 t.roots
 let total_self_ns t = fold_spans (fun a s -> a + self_ns s) 0 t
+let total_alloc_b t = List.fold_left (fun a r -> a + r.alloc_b) 0 t.roots
+let total_self_alloc_b t = fold_spans (fun a s -> a + self_alloc_b s) 0 t
 
-let critical_path ?domain t =
+(* Descend by a span weight: heaviest root, then heaviest child at
+   each level.  [critical_path] weighs by time, [critical_path_alloc]
+   by cumulative bytes. *)
+let critical_path_by weight ?domain t =
   let roots =
     match domain with
     | None -> t.roots
@@ -286,7 +314,7 @@ let critical_path ?domain t =
     | l ->
         Some
           (List.fold_left
-             (fun best s -> if dur_ns s > dur_ns best then s else best)
+             (fun best s -> if weight s > weight best then s else best)
              (List.hd l) (List.tl l))
   in
   let rec down acc s =
@@ -295,6 +323,9 @@ let critical_path ?domain t =
     | Some c -> down (s :: acc) c
   in
   match heaviest roots with None -> [] | Some r -> down [] r
+
+let critical_path ?domain t = critical_path_by dur_ns ?domain t
+let critical_path_alloc ?domain t = critical_path_by (fun s -> s.alloc_b) ?domain t
 
 (* ------------------------------------------------------------------ *)
 (* Parallelism timeline.
@@ -306,7 +337,14 @@ let critical_path ?domain t =
    domain-time over wall × lanes) and a serial-fraction estimate
    (time at level ≤ 1 over wall) follow. *)
 
-type lane = { lane_domain : int; lane_spans : int; lane_busy_ns : int }
+type lane = {
+  lane_domain : int;
+  lane_spans : int;
+  lane_busy_ns : int;
+  lane_alloc_b : int;
+      (* cumulative bytes of this domain's root spans — the domain's
+         total attributed allocation, feeding the per-lane rate *)
+}
 
 type timeline = {
   tl_wall_ns : int;  (* trace window: t_max - t_min *)
@@ -357,7 +395,17 @@ let timeline t =
             (fun a (s, e) -> a + Int64.to_int (Int64.sub e s))
             0 (segments_of d)
         in
-        { lane_domain = d; lane_spans = spans; lane_busy_ns = busy })
+        let alloc =
+          List.fold_left
+            (fun a s -> if s.domain = d then a + s.alloc_b else a)
+            0 t.roots
+        in
+        {
+          lane_domain = d;
+          lane_spans = spans;
+          lane_busy_ns = busy;
+          lane_alloc_b = alloc;
+        })
       t.domains
   in
   (* Sweep: +1 at each segment start, -1 at each end; ends sort before
@@ -418,11 +466,11 @@ let timeline t =
 (* Folded stacks (flamegraph.pl / speedscope "collapsed" format):
    one "root;child;leaf <self_ns>" line per distinct stack. *)
 
-let folded t =
+let folded_by weight t =
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let rec go prefix s =
     let path = if prefix = "" then s.name else prefix ^ ";" ^ s.name in
-    let self = self_ns s in
+    let self = weight s in
     if self > 0 then
       Hashtbl.replace tbl path
         (self + Option.value ~default:0 (Hashtbl.find_opt tbl path));
@@ -430,6 +478,12 @@ let folded t =
   in
   List.iter (go "") t.roots;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let folded t = folded_by self_ns t
+
+(* Bytes-weighted stacks: same collapsed format with self-allocation
+   weights, so flamegraph.pl renders an alloc flamegraph directly. *)
+let folded_alloc t = folded_by self_alloc_b t
 
 let folded_to_string stacks =
   String.concat ""
@@ -465,6 +519,9 @@ let rec span_to_json s : Json.t =
       ("dur_ns", Json.Int (dur_ns s));
       ("self_ns", Json.Int (self_ns s));
       ("alloc_b", Json.Int s.alloc_b);
+      ("self_alloc_b", Json.Int (self_alloc_b s));
+      ("minor_n", Json.Int s.minor_n);
+      ("major_n", Json.Int s.major_n);
       ("truncated", Json.Bool (not s.closed));
       ("children", Json.List (List.map span_to_json s.children));
     ]
@@ -484,6 +541,7 @@ let timeline_to_json tl : Json.t =
                    ("domain", Json.Int l.lane_domain);
                    ("spans", Json.Int l.lane_spans);
                    ("busy_ns", Json.Int l.lane_busy_ns);
+                   ("alloc_b", Json.Int l.lane_alloc_b);
                  ])
              tl.tl_lanes) );
       ( "busy_hist",
@@ -512,6 +570,7 @@ let to_json ~source t : Json.t =
       ("spans", Json.Int t.span_count);
       ("unclosed_spans", Json.Int t.unclosed);
       ("wall_ns", Json.Int (total_wall_ns t));
+      ("alloc_b", Json.Int (total_alloc_b t));
       ("domains", Json.List (List.map (fun d -> Json.Int d) t.domains));
       ("timeline", timeline_to_json (timeline t));
       ("tree", Json.List (List.map span_to_json t.roots));
@@ -526,6 +585,9 @@ let to_json ~source t : Json.t =
                    ("cum_ns", Json.Int a.cum_ns);
                    ("self_ns", Json.Int a.self_total_ns);
                    ("alloc_b", Json.Int a.alloc_total_b);
+                   ("self_alloc_b", Json.Int a.self_alloc_total_b);
+                   ("minor_n", Json.Int a.minor_total_n);
+                   ("major_n", Json.Int a.major_total_n);
                    ("max_ns", Json.Int a.max_ns);
                  ])
              (totals t)) );
@@ -539,8 +601,21 @@ let to_json ~source t : Json.t =
                    ("domain", Json.Int s.domain);
                    ("dur_ns", Json.Int (dur_ns s));
                    ("self_ns", Json.Int (self_ns s));
+                   ("alloc_b", Json.Int s.alloc_b);
                  ])
              (critical_path t)) );
+      ( "critical_path_alloc",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.name);
+                   ("domain", Json.Int s.domain);
+                   ("alloc_b", Json.Int s.alloc_b);
+                   ("self_alloc_b", Json.Int (self_alloc_b s));
+                 ])
+             (critical_path_alloc t)) );
       ("counters", int_obj t.final_counters);
       ( "attribution",
         Json.Obj
@@ -569,6 +644,12 @@ let to_json ~source t : Json.t =
              (fun (path, v) ->
                Json.List [ Json.String path; Json.Int v ])
              (folded t)) );
+      ( "folded_alloc",
+        Json.List
+          (List.map
+             (fun (path, v) ->
+               Json.List [ Json.String path; Json.Int v ])
+             (folded_alloc t)) );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -741,3 +822,65 @@ let pp ?(top = 10) fmt t =
   | kvs ->
       Format.fprintf fmt "@.final counters:@.";
       List.iter (fun (k, v) -> Format.fprintf fmt "  %-36s %12d@." k v) kvs
+
+let pp_alloc ?(top = 10) fmt t =
+  let total = total_alloc_b t in
+  let root_minor = List.fold_left (fun a r -> a + r.minor_n) 0 t.roots in
+  let root_major = List.fold_left (fun a r -> a + r.major_n) 0 t.roots in
+  Format.fprintf fmt
+    "allocation profile: %a over %d spans, %d minor / %d major collection(s)@."
+    pp_bytes total t.span_count root_minor root_major;
+  Format.fprintf fmt "  self-allocation total %a = root cumulative %a@."
+    pp_bytes (total_self_alloc_b t) pp_bytes total;
+  let tot =
+    totals t
+    |> List.sort (fun a b -> compare b.self_alloc_total_b a.self_alloc_total_b)
+  in
+  let denom = max 1 total in
+  Format.fprintf fmt "@.allocation hotspots (by self bytes, top %d of %d):@."
+    top (List.length tot);
+  Format.fprintf fmt "  %-32s %6s %10s %10s %6s %6s %6s@." "span" "calls"
+    "self" "cum" "minor" "major" "self%";
+  List.iteri
+    (fun i a ->
+      if i < top then
+        Format.fprintf fmt "  %-32s %6d %10s %10s %6d %6d %5.1f%%@." a.agg_name
+          a.calls
+          (cell pp_bytes a.self_alloc_total_b)
+          (cell pp_bytes a.alloc_total_b)
+          a.minor_total_n a.major_total_n
+          (100. *. float_of_int a.self_alloc_total_b /. float_of_int denom))
+    tot;
+  (match critical_path_alloc t with
+  | [] -> ()
+  | path ->
+      Format.fprintf fmt "@.allocation critical path (heaviest child chain):@.";
+      List.iteri
+        (fun depth s ->
+          Format.fprintf fmt "  %s%s %s (self %s)@."
+            (String.make (2 * depth) ' ')
+            s.name
+            (cell pp_bytes s.alloc_b)
+            (cell pp_bytes (self_alloc_b s)))
+        path);
+  let tl = timeline t in
+  match tl.tl_lanes with
+  | [] -> ()
+  | lanes ->
+      Format.fprintf fmt "@.allocation lanes (per domain):@.";
+      List.iter
+        (fun l ->
+          let rate_b_s =
+            if l.lane_busy_ns <= 0 then 0
+            else
+              int_of_float
+                (float_of_int l.lane_alloc_b
+                /. float_of_int l.lane_busy_ns *. 1e9)
+          in
+          Format.fprintf fmt
+            "  lane domain %-4d alloc %10s  busy %10s  rate %10s/s@."
+            l.lane_domain
+            (cell pp_bytes l.lane_alloc_b)
+            (cell pp_ns l.lane_busy_ns)
+            (cell pp_bytes rate_b_s))
+        lanes

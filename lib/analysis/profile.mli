@@ -1,15 +1,18 @@
-(** Trace analysis: parse an [slocal.trace/2] (or legacy [/1]) JSONL
-    trace back into a span tree and compute a profile — per-span self
-    vs. cumulative time, allocation attribution, counter-delta
-    attribution, critical paths, top-k hotspot tables, the per-step
-    provenance ("derivation log") table, folded stacks for
-    [flamegraph.pl]/speedscope, and the multi-domain parallelism
-    timeline (per-domain lanes, concurrent-busy-domains histogram,
-    utilization, serial fraction).
+(** Trace analysis: parse an [slocal.trace/3] (or legacy [/2], [/1])
+    JSONL trace back into a span tree and compute a profile — per-span
+    self vs. cumulative time {e and} self vs. cumulative allocation
+    (with per-span GC-work deltas), counter-delta attribution,
+    time- and bytes-weighted critical paths, top-k hotspot tables, the
+    per-step provenance ("derivation log") table, folded stacks
+    (time- and bytes-weighted) for [flamegraph.pl]/speedscope, and the
+    multi-domain parallelism timeline (per-domain lanes with
+    allocation rates, concurrent-busy-domains histogram, utilization,
+    serial fraction).
 
     This is the read side of the observability stack: the CLI exposes
-    it as [slocal trace report FILE] with human, [--json] (schema
-    [slocal.profile/1]), [--folded], and [--timeline] output.
+    it as [slocal trace report FILE] with human, [--alloc], [--json]
+    (schema [slocal.profile/1]), [--folded], [--folded-alloc], and
+    [--timeline] output.
 
     Damaged input degrades gracefully: unparsable lines are skipped
     and counted ({!Slocal_obs.Trace}), and spans whose close event is
@@ -21,7 +24,11 @@
 val profile_schema_version : string
 (** ["slocal.profile/1"].  The ["domains"] and ["timeline"] fields of
     the JSON document are additive (introduced with [slocal.trace/2]
-    inputs); consumers of [/1] documents ignore them. *)
+    inputs), as are the allocation fields (["alloc_b"] on the
+    document, ["self_alloc_b"]/["minor_n"]/["major_n"] on tree and
+    totals rows, ["critical_path_alloc"], ["folded_alloc"], lane
+    ["alloc_b"] — introduced with [slocal.trace/3] inputs); consumers
+    of older documents ignore them. *)
 
 type span = {
   id : int;
@@ -29,7 +36,13 @@ type span = {
   domain : int;  (** Runtime domain id that recorded the span. *)
   t0 : int64;
   mutable t1 : int64;
-  mutable alloc_b : int;
+  mutable alloc_b : int;  (** Cumulative bytes allocated in the span. *)
+  mutable minor_n : int;
+      (** Minor collections during the span ([/3]; [0] on older
+          traces). *)
+  mutable major_n : int;
+      (** Major collections during the span ([/3]; [0] on older
+          traces). *)
   mutable closed : bool;  (** [false]: close synthesized at EOF. *)
   mutable children : span list;
 }
@@ -86,6 +99,12 @@ val self_ns : span -> int
     well-formed traces the self times over a tree sum exactly to the
     root's cumulative time. *)
 
+val self_alloc_b : span -> int
+(** [alloc_b] minus the children's cumulative bytes, clamped at [0] —
+    the exact allocation mirror of {!self_ns}.  On well-formed traces
+    the self allocations over a tree sum exactly to the root's
+    cumulative bytes. *)
+
 val total_wall_ns : t -> int
 (** Sum of the root spans' cumulative times.  On a multi-domain trace
     concurrent roots overlap, so this is domain-time, not elapsed
@@ -95,6 +114,14 @@ val total_self_ns : t -> int
 (** Sum of every span's self time; equals {!total_wall_ns} on
     well-formed traces. *)
 
+val total_alloc_b : t -> int
+(** Sum of the root spans' cumulative bytes. *)
+
+val total_self_alloc_b : t -> int
+(** Sum of every span's self allocation; equals {!total_alloc_b} on
+    well-formed traces (the Σself-alloc = root-cumulative
+    invariant). *)
+
 (** {1 Aggregates} *)
 
 type total = {
@@ -102,7 +129,10 @@ type total = {
   calls : int;
   cum_ns : int;
   self_total_ns : int;
-  alloc_total_b : int;
+  alloc_total_b : int;  (** Cumulative bytes (recursion double-counts). *)
+  self_alloc_total_b : int;  (** Self bytes; always disjoint. *)
+  minor_total_n : int;
+  major_total_n : int;
   max_ns : int;
 }
 
@@ -117,6 +147,10 @@ val critical_path : ?domain:int -> t -> span list
     starting from the heaviest root (of the given domain, when
     [domain] is passed); [[]] for an empty trace. *)
 
+val critical_path_alloc : ?domain:int -> t -> span list
+(** Same descent weighted by cumulative bytes instead of time: the
+    chain a byte most likely came from. *)
+
 (** {1 Parallelism timeline} *)
 
 type lane = {
@@ -125,6 +159,9 @@ type lane = {
   lane_busy_ns : int;
       (** Time this domain had at least one root span open (union of
           its root-span intervals). *)
+  lane_alloc_b : int;
+      (** Cumulative bytes of this domain's root spans — divide by
+          [lane_busy_ns] for the lane's allocation rate. *)
 }
 
 type timeline = {
@@ -157,6 +194,11 @@ val folded : t -> (string * int) list
     collapsed-stack format consumed by [flamegraph.pl] and
     speedscope.  Zero-self spans are omitted. *)
 
+val folded_alloc : t -> (string * int) list
+(** Same collapsed-stack format weighted by {!self_alloc_b} bytes —
+    feed it to [flamegraph.pl] for an allocation flamegraph.
+    Zero-self-alloc spans are omitted. *)
+
 val folded_to_string : (string * int) list -> string
 (** One ["path value\n"] line per stack. *)
 
@@ -176,3 +218,10 @@ val pp : ?top:int -> Format.formatter -> t -> unit
 (** The human report: summary line, hotspot table (top [top] rows,
     default 10), critical path, counter attribution, provenance table,
     histograms, final counters. *)
+
+val pp_alloc : ?top:int -> Format.formatter -> t -> unit
+(** The [--alloc] report: total-allocation summary with the
+    Σself-alloc = root-cumulative check line, self/cumulative
+    allocation hotspot table (by self bytes, with per-name GC-work
+    counts), allocation-weighted critical path, and per-domain
+    allocation-rate lanes. *)

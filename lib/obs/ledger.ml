@@ -36,6 +36,11 @@ type record = {
   gauges : (string * int) list;
   histograms : (string * hist_summary) list;
   artifacts : (string * string) list;
+  alloc_b : int;
+      (* bytes allocated on the recording domain over the run;
+         additive slocal.run/1 field, 0 on records from older writers *)
+  majors : int;  (* major collections over the run; additive, 0 *)
+  top_heap_words : int;  (* peak heap at finish; additive, 0 *)
 }
 
 let wall_seconds r = Float.max 0. (r.finished_at -. r.started_at)
@@ -88,6 +93,9 @@ let to_json r : Json.t =
       );
       ( "artifacts",
         Json.Obj (List.map (fun (k, p) -> (k, Json.String p)) r.artifacts) );
+      ("alloc_b", Json.Int r.alloc_b);
+      ("majors", Json.Int r.majors);
+      ("top_heap_words", Json.Int r.top_heap_words);
     ]
 
 let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
@@ -187,6 +195,10 @@ let of_json j : (record, string) result =
             (Ok []) kvs
           |> Result.map List.rev
     in
+    (* Additive fields: older records simply lack them. *)
+    let opt_int k =
+      Option.value ~default:0 (Option.bind (Json.member k j) Json.as_int)
+    in
     Ok
       {
         id;
@@ -202,6 +214,9 @@ let of_json j : (record, string) result =
         gauges;
         histograms;
         artifacts;
+        alloc_b = opt_int "alloc_b";
+        majors = opt_int "majors";
+        top_heap_words = opt_int "top_heap_words";
       }
 
 (* ------------------------------------------------------------------ *)
@@ -326,6 +341,8 @@ type ctx = {
   c_id : string;
   c_argv : string list;
   c_started : float;
+  c_alloc0 : float;  (* Gc.allocated_bytes at begin_run *)
+  c_majors0 : int;  (* major_collections at begin_run *)
   mutable c_kernel : string option;
   mutable c_seed : int option;
   mutable c_problems : (string * int) list;
@@ -349,6 +366,8 @@ let begin_run ~argv =
         c_id = fresh_id ();
         c_argv = argv;
         c_started = Unix.gettimeofday ();
+        c_alloc0 = Gc.allocated_bytes ();
+        c_majors0 = (Gc.quick_stat ()).Gc.major_collections;
         c_kernel = None;
         c_seed = None;
         c_problems = [];
@@ -398,6 +417,7 @@ let snapshot_record c ~outcome =
           } ))
       (Telemetry.histogram_snapshot ())
   in
+  let q = Gc.quick_stat () in
   {
     id = c.c_id;
     argv = c.c_argv;
@@ -412,6 +432,9 @@ let snapshot_record c ~outcome =
     gauges = List.rev gauges;
     histograms;
     artifacts = c.c_artifacts;
+    alloc_b = int_of_float (Gc.allocated_bytes () -. c.c_alloc0);
+    majors = q.Gc.major_collections - c.c_majors0;
+    top_heap_words = q.Gc.top_heap_words;
   }
 
 let finish_run ~outcome =

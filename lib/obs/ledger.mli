@@ -41,6 +41,16 @@ type record = {
   histograms : (string * hist_summary) list;
   artifacts : (string * string) list;
       (** [(kind, path)]: trace, profile, openmetrics, bench JSON. *)
+  alloc_b : int;
+      (** Bytes allocated on the recording domain over the run
+          ([Gc.allocated_bytes] delta).  Additive [slocal.run/1]
+          field: [0] on records written before it existed. *)
+  majors : int;
+      (** Major collections over the run.  Additive field, [0] on
+          older records. *)
+  top_heap_words : int;
+      (** [Gc.top_heap_words] at run end — peak heap size.  Additive
+          field, [0] on older records. *)
 }
 
 val wall_seconds : record -> float
@@ -93,6 +103,10 @@ val gc : path:string -> keep:int -> (int * int, string) result
     read-only working directory never fails the run itself. *)
 
 val begin_run : argv:string list -> unit
+(** Opens the context and snapshots the GC allocation/major-cycle
+    baselines that {!finish_run} turns into the record's [alloc_b]
+    and [majors] deltas. *)
+
 val note_kernel : string -> unit
 val note_seed : int -> unit
 val note_problem : name:string -> hash:int -> unit

@@ -1,4 +1,4 @@
-let trace_schema_version = "slocal.trace/2"
+let trace_schema_version = "slocal.trace/3"
 let now_ns = Monotonic_clock.now
 let self_domain () = (Domain.self () :> int)
 
@@ -205,8 +205,9 @@ type shard = {
   sh_domain : int;
   mutable sh_values : int array; (* metric slot -> value *)
   sh_hists : (string, Histogram.t) Hashtbl.t;
-  mutable sh_spans : (int * string * int64 * float) list;
-      (* (id, name, t0, alloc_bytes0), innermost first *)
+  mutable sh_spans : (int * string * int64 * float * int * int) list;
+      (* (id, name, t0, alloc_bytes0, minor0, major0), innermost
+         first; the GC baselines feed the span_close deltas *)
   sh_buf : Buffer.t; (* complete JSONL lines not yet handed to the writer *)
 }
 
@@ -363,15 +364,63 @@ let g_gc_compactions = gauge "gc.compactions"
 let g_gc_heap_words = gauge "gc.heap_words"
 let g_gc_top_heap_words = gauge "gc.top_heap_words"
 let g_gc_allocated_bytes = gauge "gc.allocated_bytes"
+let g_gc_minor_words = gauge "gc.minor_words"
+let g_gc_promoted_words = gauge "gc.promoted_words"
+let g_gc_major_words = gauge "gc.major_words"
 
-let sample_gc () =
-  let s = Gc.quick_stat () in
+let set_gc_gauges (s : Gc.stat) =
   set g_gc_minor s.Gc.minor_collections;
   set g_gc_major s.Gc.major_collections;
   set g_gc_compactions s.Gc.compactions;
   set g_gc_heap_words s.Gc.heap_words;
   set g_gc_top_heap_words s.Gc.top_heap_words;
-  set g_gc_allocated_bytes (int_of_float (Gc.allocated_bytes ()))
+  set g_gc_allocated_bytes (int_of_float (Gc.allocated_bytes ()));
+  (* [Gc.counters] is the precise per-domain word accounting — exact
+     where quick_stat's word fields may lag the current minor heap. *)
+  let minor_w, promoted_w, major_w = Gc.counters () in
+  set g_gc_minor_words (int_of_float minor_w);
+  set g_gc_promoted_words (int_of_float promoted_w);
+  set g_gc_major_words (int_of_float major_w)
+
+let sample_gc () = set_gc_gauges (Gc.quick_stat ())
+
+(* ------------------------------------------------------------------ *)
+(* Major-cycle monitor.  While a sink is installed, a [Gc.create_alarm]
+   hook fires at the end of every major GC cycle on the installing
+   domain: it bumps the [gc.majors] counter and records the latency
+   since the previous cycle's end into the [gc.major_cycle_ns]
+   histogram — the pause-pressure signal of a run.  Both writes land
+   in the calling domain's shard (alarms are per-domain under OCaml
+   5), so the monitor is as shard-safe as any span.  With the null
+   sink no alarm exists and the hot path pays nothing. *)
+
+let c_gc_majors = counter "gc.majors"
+
+(* staticcheck: domain-safe major-cycle alarm handle; installed and deleted only by set_sink on the installing domain *)
+let gc_alarm : Gc.alarm option ref = ref None
+
+let install_gc_alarm () =
+  if !gc_alarm = None then begin
+    (* The inter-cycle clock starts at install time, so the first
+       cycle's latency measures from monitor start, not process
+       start. *)
+    let last = ref (now_ns ()) in
+    gc_alarm :=
+      Some
+        (Gc.create_alarm (fun () ->
+             let t = now_ns () in
+             let dt = Int64.to_int (Int64.sub t !last) in
+             last := t;
+             incr c_gc_majors;
+             Histogram.record (histogram "gc.major_cycle_ns") dt))
+  end
+
+let remove_gc_alarm () =
+  match !gc_alarm with
+  | None -> ()
+  | Some a ->
+      Gc.delete_alarm a;
+      gc_alarm := None
 
 (* ------------------------------------------------------------------ *)
 (* Events and sinks *)
@@ -391,6 +440,8 @@ type event =
       t_ns : int64;
       dur_ns : int64;
       alloc_b : int;
+      minor_n : int;
+      major_n : int;
       domain : int;
     }
   | Counters of { t_ns : int64; domain : int; values : (string * int) list }
@@ -471,8 +522,10 @@ let set_sink s =
   flush_sink ();
   Atomic.set current s;
   match s with
-  | Null -> ()
-  | Emit e -> e.emit (Trace_start { t_ns = now_ns (); domain = self_domain () })
+  | Null -> remove_gc_alarm ()
+  | Emit e ->
+      install_gc_alarm ();
+      e.emit (Trace_start { t_ns = now_ns (); domain = self_domain () })
 
 (* Safety net: if the process exits (node-budget abort, uncaught
    exception, plain [exit]) while a sink is still installed, push any
@@ -493,26 +546,41 @@ let span nm f =
   | Emit _ ->
       let s = my_shard () in
       let id = Atomic.fetch_and_add next_id 1 in
-      sample_gc ();
+      let q0 = Gc.quick_stat () in
+      set_gc_gauges q0;
       let a0 = Gc.allocated_bytes () in
       let t0 = now_ns () in
       let parent =
-        match s.sh_spans with [] -> None | (pid, _, _, _) :: _ -> Some pid
+        match s.sh_spans with [] -> None | (pid, _, _, _, _, _) :: _ -> Some pid
       in
       emit (Span_open { id; parent; name = nm; t_ns = t0; domain = s.sh_domain });
-      s.sh_spans <- (id, nm, t0, a0) :: s.sh_spans;
+      s.sh_spans <-
+        (id, nm, t0, a0, q0.Gc.minor_collections, q0.Gc.major_collections)
+        :: s.sh_spans;
       let finish () =
         (match s.sh_spans with
-        | (id', _, _, _) :: rest when id' = id -> s.sh_spans <- rest
+        | (id', _, _, _, _, _) :: rest when id' = id -> s.sh_spans <- rest
         | _ -> ());
         let t1 = now_ns () in
         let dur_ns = Int64.sub t1 t0 in
         let alloc_b = int_of_float (Gc.allocated_bytes () -. a0) in
-        sample_gc ();
+        let q1 = Gc.quick_stat () in
+        set_gc_gauges q1;
+        let minor_n = q1.Gc.minor_collections - q0.Gc.minor_collections in
+        let major_n = q1.Gc.major_collections - q0.Gc.major_collections in
         Histogram.record (histogram ("span." ^ nm)) (Int64.to_int dur_ns);
         emit
           (Span_close
-             { id; name = nm; t_ns = t1; dur_ns; alloc_b; domain = s.sh_domain });
+             {
+               id;
+               name = nm;
+               t_ns = t1;
+               dur_ns;
+               alloc_b;
+               minor_n;
+               major_n;
+               domain = s.sh_domain;
+             });
         (* A top-level close is a natural crash-consistency point:
            hand this domain's buffered lines to the writer. *)
         if s.sh_spans = [] then flush_local ()
@@ -617,7 +685,7 @@ let event_to_json ev : Json.t =
           t t_ns;
           d domain;
         ]
-  | Span_close { id; name; t_ns; dur_ns; alloc_b; domain } ->
+  | Span_close { id; name; t_ns; dur_ns; alloc_b; minor_n; major_n; domain } ->
       Json.Obj
         [
           ("kind", Json.String "span_close");
@@ -626,6 +694,8 @@ let event_to_json ev : Json.t =
           t t_ns;
           ("dur_ns", Json.Int (Int64.to_int dur_ns));
           ("alloc_b", Json.Int alloc_b);
+          ("minor_n", Json.Int minor_n);
+          ("major_n", Json.Int major_n);
           d domain;
         ]
   | Counters { t_ns; domain; values } ->
@@ -738,11 +808,12 @@ let stderr_sink () =
           | Span_open { name; _ } ->
               Printf.eprintf "[obs] %s> %s\n%!" (indent ()) name;
               depth := !depth + 1
-          | Span_close { name; dur_ns; alloc_b; _ } ->
+          | Span_close { name; dur_ns; alloc_b; minor_n; major_n; _ } ->
               depth := max 0 (!depth - 1);
-              Printf.eprintf "[obs] %s< %s %s (%dB)\n%!" (indent ()) name
+              Printf.eprintf "[obs] %s< %s %s (%dB, %d minor / %d major)\n%!"
+                (indent ()) name
                 (Format.asprintf "%a" pp_duration dur_ns)
-                alloc_b
+                alloc_b minor_n major_n
           | Counters { values; _ } ->
               Printf.eprintf "[obs] counters:\n";
               List.iter

@@ -30,7 +30,7 @@
 
     - {!stderr_sink} renders an indented live span tree to stderr;
     - {!jsonl_sink} writes one JSON object per line (the
-      [slocal.trace/2] schema, documented in DESIGN.md) through one
+      [slocal.trace/3] schema, documented in DESIGN.md) through one
       mutex-guarded writer fed by per-domain buffers;
     - {!collector_sink} hands events to a callback (used by tests). *)
 
@@ -170,7 +170,9 @@ val self_domain : unit -> int
 val sample_gc : unit -> unit
 (** Refresh the [gc.*] gauges ([minor_collections],
     [major_collections], [compactions], [heap_words],
-    [top_heap_words], [allocated_bytes]) from [Gc.quick_stat].  Called
+    [top_heap_words], [allocated_bytes]) from [Gc.quick_stat], plus
+    the precise per-domain word accounting ([minor_words],
+    [promoted_words], [major_words]) from [Gc.counters].  Called
     automatically at span boundaries while a sink is installed; call
     it directly before reading a summary elsewhere.  Samples describe
     the calling domain; merged gauges report the per-domain maximum. *)
@@ -202,6 +204,13 @@ type event =
       alloc_b : int;
           (** Bytes allocated (minor + major) while the span was open,
               from [Gc.allocated_bytes] deltas. *)
+      minor_n : int;
+          (** Minor collections finished while the span was open
+              ([Gc.quick_stat] deltas); additive [slocal.trace/3]
+              field. *)
+      major_n : int;
+          (** Major collections finished while the span was open;
+              additive [slocal.trace/3] field. *)
       domain : int;
     }
   | Counters of { t_ns : int64; domain : int; values : (string * int) list }
@@ -247,7 +256,15 @@ val collector_sink : (event -> unit) -> sink
 val set_sink : sink -> unit
 (** Flush and replace the current sink and, when the new sink is
     non-null, emit {!Trace_start} to it.  Install sinks outside of any
-    open span and with no live worker domains. *)
+    open span and with no live worker domains.
+
+    Installing a non-null sink also starts the {e major-cycle
+    monitor}: a [Gc.create_alarm] hook on the installing domain that
+    bumps the [gc.majors] counter at the end of every major GC cycle
+    and records the latency since the previous cycle's end into the
+    [gc.major_cycle_ns] histogram.  Installing {!null_sink} deletes
+    the alarm, so the monitor (like spans) is free when telemetry is
+    off. *)
 
 val enabled : unit -> bool
 (** [true] iff the current sink is not {!null_sink}. *)
@@ -292,9 +309,10 @@ val message : string -> unit
 (** {1 Rendering} *)
 
 val trace_schema_version : string
-(** ["slocal.trace/2"] — /1 plus a [domain] field on every event.
-    The {!Slocal_obs.Trace} reader still accepts /1 files (events
-    default to domain 0). *)
+(** ["slocal.trace/3"] — /2 plus [minor_n]/[major_n] GC-work deltas
+    on every [span_close] (which was /1 plus a [domain] field on
+    every event).  The {!Slocal_obs.Trace} reader still accepts /1
+    and /2 files: absent fields default to 0. *)
 
 val event_to_json : event -> Json.t
 (** The JSONL line for an event (see DESIGN.md for the schema). *)

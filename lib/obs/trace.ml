@@ -1,5 +1,5 @@
-(* Read [slocal.trace/2] (and /1) JSONL traces back into Telemetry
-   events. *)
+(* Read [slocal.trace/3] (and /2, /1) JSONL traces back into
+   Telemetry events. *)
 
 let schema_version = Telemetry.trace_schema_version
 
@@ -67,13 +67,19 @@ let event_of_json j : (Telemetry.event, string) result =
       let* name = string_field j "name" in
       let* t_ns = int64_field j "t_ns" in
       let* dur_ns = int64_field j "dur_ns" in
-      (* [alloc_b] is an additive slocal.trace/1 field: default 0 for
-         traces written before it existed. *)
-      let alloc_b =
-        Option.value ~default:0
-          (Option.bind (Json.member "alloc_b" j) Json.as_int)
+      (* [alloc_b] is an additive slocal.trace/1 field and
+         [minor_n]/[major_n] are additive slocal.trace/3 fields:
+         default 0 for traces written before they existed, so mixed
+         /1 + /2 + /3 files read cleanly. *)
+      let opt_int k =
+        Option.value ~default:0 (Option.bind (Json.member k j) Json.as_int)
       in
-      Ok (Telemetry.Span_close { id; name; t_ns; dur_ns; alloc_b; domain })
+      let alloc_b = opt_int "alloc_b" in
+      let minor_n = opt_int "minor_n" in
+      let major_n = opt_int "major_n" in
+      Ok
+        (Telemetry.Span_close
+           { id; name; t_ns; dur_ns; alloc_b; minor_n; major_n; domain })
   | "counters" ->
       let* t_ns = int64_field j "t_ns" in
       let* values = int_values j "values" in

@@ -1,4 +1,4 @@
-(** Read [slocal.trace/2] (and /1) JSONL traces back into
+(** Read [slocal.trace/3] (and /2, /1) JSONL traces back into
     {!Telemetry.event} values — the inverse of
     {!Telemetry.event_to_json}.
 
@@ -8,14 +8,15 @@
     trace, so [slocal trace report] degrades gracefully on damaged
     files.  Unknown {e fields} on known kinds are ignored; additive
     fields default when absent (traces from older writers): the
-    [alloc_b] field of [span_close] defaults to [0], and the /2
-    [domain] field defaults to [0] on every kind — /1 traces were
-    single-domain by construction.  A mixed /1 + /2 file (e.g. a
-    concatenation) therefore reads cleanly, /1 events landing on
-    domain 0. *)
+    [alloc_b] field of [span_close] defaults to [0], the /2 [domain]
+    field defaults to [0] on every kind — /1 traces were
+    single-domain by construction — and the /3 [minor_n]/[major_n]
+    GC-work deltas of [span_close] default to [0].  A mixed
+    /1 + /2 + /3 file (e.g. a concatenation) therefore reads cleanly,
+    older events landing on domain 0 with zero GC work. *)
 
 val schema_version : string
-(** ["slocal.trace/2"]. *)
+(** ["slocal.trace/3"]. *)
 
 type read_result = {
   events : Telemetry.event list;  (** In file order. *)

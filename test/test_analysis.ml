@@ -818,7 +818,7 @@ let test_staticcheck_repo_inventory () =
         (("lib/core", "SL051"), 1);
         (("lib/formalism", "SL050"), 4);
         (("lib/formalism", "SL051"), 2);
-        (("lib/obs", "SL050"), 19);
+        (("lib/obs", "SL050"), 20);
         (("lib/obs", "SL051"), 4);
         (("lib/obs", "SL054"), 1);
         (("lib/obs", "SL055"), 1);
@@ -894,6 +894,96 @@ let test_telemetry_bench_drift () =
            && String.length d.D.message > 0)
          diags)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Bench_report: slocal.bench/1 parsing and the allocation gate,
+   including the forward-compatibility contract against a committed
+   pre-allocation baseline fixture *)
+
+module BR = Slocal_analysis.Bench_report
+
+let bench_doc s =
+  match Json.of_string s with Ok j -> j | Error e -> Alcotest.fail e
+
+(* A minimal current-generation report: FIG1 and T15 carry the
+   allocation fields, E-PAR is a parallel experiment. *)
+let bench_report ~fig1_alloc ~t15_alloc ~epar_alloc =
+  bench_doc
+    (Printf.sprintf
+       {|{"schema":"slocal.bench/1","mode":"tables","quick":false,
+          "experiments":[
+            {"id":"FIG1","wall_ns":100,"alloc_b":%d,"minor_n":3,"major_n":1,
+             "counters":{"re.enum_nodes":50}},
+            {"id":"E-PAR","wall_ns":100,"alloc_b":%d,"counters":{}},
+            {"id":"T15","wall_ns":100,"alloc_b":%d,"counters":{}}],
+          "benchmarks":[]}|}
+       fig1_alloc epar_alloc t15_alloc)
+
+let test_bench_report_parse () =
+  let exps = BR.experiments_of (bench_report ~fig1_alloc:1000 ~t15_alloc:2000 ~epar_alloc:5000) in
+  check (Alcotest.list Alcotest.string) "experiment ids in file order"
+    [ "FIG1"; "E-PAR"; "T15" ]
+    (List.map (fun e -> e.BR.ex_id) exps);
+  let fig1 = List.hd exps in
+  check (Alcotest.option int_t) "alloc_b parsed" (Some 1000) fig1.BR.ex_alloc_b;
+  check (Alcotest.option int_t) "minor_n parsed" (Some 3) fig1.BR.ex_minor_n;
+  check (Alcotest.option int_t) "major_n parsed" (Some 1) fig1.BR.ex_major_n;
+  check (Alcotest.option int_t) "counters still read" (Some 50)
+    (List.assoc_opt "re.enum_nodes" fig1.BR.ex_counters);
+  check bool_t "ratio clamps a zero baseline" true (BR.ratio_of 5 0 = 5.);
+  check bool_t "gate arithmetic: 2% holds" false
+    (BR.breaches ~ratio:BR.alloc_gate_ratio ~base:1000 ~cur:1020);
+  check bool_t "gate arithmetic: above 2% breaches" true
+    (BR.breaches ~ratio:BR.alloc_gate_ratio ~base:1000 ~cur:1021)
+
+let test_bench_alloc_gate () =
+  let baseline = bench_report ~fig1_alloc:1000 ~t15_alloc:2000 ~epar_alloc:5000 in
+  (* Within tolerance everywhere; E-PAR triples but is exempt. *)
+  let ok =
+    BR.alloc_gate ~baseline
+      ~current:(bench_report ~fig1_alloc:1015 ~t15_alloc:2000 ~epar_alloc:15000)
+  in
+  check int_t "three shared experiments checked" 3 (List.length ok.BR.checks);
+  check (Alcotest.list Alcotest.string) "nothing skipped" [] ok.BR.skipped;
+  check bool_t "no breach within tolerance" true
+    (List.for_all (fun c -> not c.BR.ac_breach) ok.BR.checks);
+  check bool_t "the parallel experiment is exempt, not gated" true
+    (List.exists (fun c -> c.BR.ac_id = "E-PAR" && c.BR.ac_exempt) ok.BR.checks);
+  (* A 3% regression on a gated experiment breaches. *)
+  let bad =
+    BR.alloc_gate ~baseline
+      ~current:(bench_report ~fig1_alloc:1030 ~t15_alloc:2000 ~epar_alloc:5000)
+  in
+  check bool_t "3% regression breaches" true
+    (List.exists
+       (fun c -> c.BR.ac_id = "FIG1" && c.BR.ac_breach)
+       bad.BR.checks)
+
+let test_bench_forward_compat () =
+  (* The committed pre-allocation baseline (a real slocal.bench/1
+     report written before alloc_b existed) must parse cleanly and be
+     skipped-and-noted by the allocation gate, never crash it. *)
+  let read path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let old = bench_doc (read (fixture "bench_v1_noalloc.json")) in
+  let exps = BR.experiments_of old in
+  check bool_t "the fixture carries a full experiment sweep" true
+    (List.length exps >= 15);
+  check bool_t "no experiment carries allocation fields" true
+    (List.for_all (fun e -> e.BR.ex_alloc_b = None) exps);
+  check bool_t "enum_nodes still extracted" true (BR.enum_nodes old <> []);
+  let r =
+    BR.alloc_gate ~baseline:old
+      ~current:(bench_report ~fig1_alloc:999999 ~t15_alloc:999999 ~epar_alloc:1)
+  in
+  check (Alcotest.list Alcotest.string) "older side: checked nothing" []
+    (List.map (fun c -> c.BR.ac_id) r.BR.checks);
+  check bool_t "shared experiments skipped-and-noted" true
+    (List.mem "FIG1" r.BR.skipped && List.mem "T15" r.BR.skipped)
 
 (* ------------------------------------------------------------------ *)
 
@@ -985,6 +1075,14 @@ let () =
           Alcotest.test_case "json report" `Quick test_staticcheck_json_report;
           Alcotest.test_case "repo golden inventory" `Quick
             test_staticcheck_repo_inventory;
+        ] );
+      ( "bench-report",
+        [
+          Alcotest.test_case "parse and gate arithmetic" `Quick
+            test_bench_report_parse;
+          Alcotest.test_case "allocation gate" `Quick test_bench_alloc_gate;
+          Alcotest.test_case "pre-alloc baseline forward-compat" `Quick
+            test_bench_forward_compat;
         ] );
       ( "slp-lint",
         [

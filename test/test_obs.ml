@@ -286,7 +286,50 @@ let test_span_histogram_and_gc () =
   check bool_t "gc.heap_words sampled" true (v "gc.heap_words" > 0);
   check bool_t "gc.minor_collections sampled" true
     (v "gc.minor_collections" >= 0);
-  check bool_t "gc.allocated_bytes sampled" true (v "gc.allocated_bytes" > 0)
+  check bool_t "gc.allocated_bytes sampled" true (v "gc.allocated_bytes" > 0);
+  check bool_t "gc.minor_words sampled" true (v "gc.minor_words" > 0);
+  check bool_t "gc.promoted_words sampled" true (v "gc.promoted_words" >= 0);
+  check bool_t "gc.major_words sampled" true (v "gc.major_words" >= 0)
+
+let test_span_gc_work () =
+  with_clean_telemetry @@ fun () ->
+  let got = ref None in
+  Telemetry.set_sink
+    (Telemetry.collector_sink (function
+      | Telemetry.Span_close { name = "gc_work"; minor_n; major_n; _ } ->
+          got := Some (minor_n, major_n)
+      | _ -> ()));
+  Telemetry.span "gc_work" (fun () ->
+      Gc.minor ();
+      Gc.full_major ());
+  Telemetry.set_sink Telemetry.null_sink;
+  match !got with
+  | None -> Alcotest.fail "no span_close for gc_work"
+  | Some (minor_n, major_n) ->
+      check bool_t "minor collections attributed to the span" true
+        (minor_n >= 1);
+      check bool_t "major collections attributed to the span" true
+        (major_n >= 1)
+
+let test_major_cycle_monitor () =
+  with_clean_telemetry @@ fun () ->
+  let majors () =
+    Option.value ~default:0
+      (List.assoc_opt "gc.majors" (Telemetry.snapshot ()))
+  in
+  (* No sink: the alarm is not installed, major cycles go uncounted. *)
+  Gc.full_major ();
+  check int_t "no monitor without a sink" 0 (majors ());
+  Telemetry.set_sink (Telemetry.collector_sink (fun _ -> ()));
+  Gc.full_major ();
+  Gc.full_major ();
+  let with_sink = majors () in
+  check bool_t "alarm counts major cycles under a sink" true (with_sink >= 2);
+  check bool_t "inter-cycle latency recorded" true
+    (H.count (Telemetry.histogram "gc.major_cycle_ns") >= 1);
+  Telemetry.set_sink Telemetry.null_sink;
+  Gc.full_major ();
+  check int_t "alarm removed with the null sink" with_sink (majors ())
 
 (* ------------------------------------------------------------------ *)
 (* Null sink *)
@@ -578,6 +621,9 @@ let sample_record ?(id = "cafe0001") ?(counters = [ ("c", 1) ]) () =
           } );
       ];
     artifacts = [ ("trace", "/tmp/t.jsonl") ];
+    alloc_b = 4096;
+    majors = 2;
+    top_heap_words = 65536;
   }
 
 let append_raw path s =
@@ -973,8 +1019,8 @@ let test_jsonl_multi_domain () =
   close_out oc;
   let r = Trace.read_file file in
   check int_t "no damaged lines" 0 r.Trace.skipped;
-  check (Alcotest.option string_t) "schema is slocal.trace/2"
-    (Some "slocal.trace/2") r.Trace.schema;
+  check (Alcotest.option string_t) "schema is slocal.trace/3"
+    (Some "slocal.trace/3") r.Trace.schema;
   let domains =
     List.sort_uniq compare (List.map Telemetry.event_domain r.Trace.events)
   in
@@ -1000,8 +1046,9 @@ let test_jsonl_multi_domain () =
     domains
 
 let test_mixed_schema_trace () =
-  (* A /1 prefix (no domain fields) concatenated with a /2 tail must
-     read cleanly: legacy events default to domain 0. *)
+  (* A /1 prefix (no domain fields), a /2 middle (domain, no GC-work
+     deltas) and a /3 tail concatenated must read cleanly: legacy
+     events default to domain 0 and zero GC work. *)
   let file = Filename.temp_file "slocal_mixed" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
   let oc = open_out file in
@@ -1013,16 +1060,34 @@ let test_mixed_schema_trace () =
       {|{"kind":"span_close","id":1,"name":"legacy","t_ns":5,"dur_ns":3,"alloc_b":0}|};
       {|{"kind":"span_open","id":2,"parent":null,"name":"tagged","t_ns":6,"domain":4}|};
       {|{"kind":"span_close","id":2,"name":"tagged","t_ns":9,"dur_ns":3,"alloc_b":0,"domain":4}|};
+      {|{"kind":"span_open","id":3,"parent":null,"name":"gcwork","t_ns":10,"domain":4}|};
+      {|{"kind":"span_close","id":3,"name":"gcwork","t_ns":15,"dur_ns":5,"alloc_b":128,"minor_n":2,"major_n":1,"domain":4}|};
     ];
   close_out oc;
   let r = Trace.read_file file in
   check int_t "all lines parse" 0 r.Trace.skipped;
-  check int_t "five events" 5 (List.length r.Trace.events);
+  check int_t "seven events" 7 (List.length r.Trace.events);
   check
     (Alcotest.list int_t)
     "legacy events default to domain 0, tagged keep theirs"
-    [ 0; 0; 0; 4; 4 ]
-    (List.map Telemetry.event_domain r.Trace.events)
+    [ 0; 0; 0; 4; 4; 4; 4 ]
+    (List.map Telemetry.event_domain r.Trace.events);
+  let closes =
+    List.filter_map
+      (function
+        | Telemetry.Span_close { name; alloc_b; minor_n; major_n; _ } ->
+            Some (name, (alloc_b, minor_n, major_n))
+        | _ -> None)
+      r.Trace.events
+  in
+  check
+    (Alcotest.list
+       (Alcotest.pair Alcotest.string (Alcotest.triple int_t int_t int_t)))
+    "GC-work deltas default to 0 on legacy closes, survive on /3"
+    [
+      ("legacy", (0, 0, 0)); ("tagged", (0, 0, 0)); ("gcwork", (128, 2, 1));
+    ]
+    closes
 
 let test_progress_dropped () =
   with_clean_telemetry @@ fun () ->
@@ -1078,6 +1143,9 @@ let () =
             test_histogram_registry;
           Alcotest.test_case "span histograms and gc gauges" `Quick
             test_span_histogram_and_gc;
+          Alcotest.test_case "span gc-work deltas" `Quick test_span_gc_work;
+          Alcotest.test_case "major-cycle monitor" `Quick
+            test_major_cycle_monitor;
         ] );
       ( "sinks",
         [
@@ -1129,7 +1197,7 @@ let () =
           Alcotest.test_case "nested run degrades" `Quick test_pool_nested_run;
           Alcotest.test_case "multi-domain jsonl trace" `Quick
             test_jsonl_multi_domain;
-          Alcotest.test_case "mixed /1 + /2 trace" `Quick
+          Alcotest.test_case "mixed /1 + /2 + /3 trace" `Quick
             test_mixed_schema_trace;
         ] );
     ]

@@ -290,6 +290,8 @@ let two_domain_events () =
         t_ns = Int64.of_int t;
         dur_ns = Int64.of_int (t - t0);
         alloc_b = 0;
+        minor_n = 0;
+        major_n = 0;
         domain = d;
       }
   in
@@ -381,6 +383,152 @@ let test_timeline_render () =
     (contains out "critical path (domain 1)")
 
 (* ------------------------------------------------------------------ *)
+(* Allocation accounting *)
+
+(* The two-domain geometry with allocation attached: a [0,100]
+   allocates 1000B cumulative (2 minor / 1 major collections), its
+   child c [20,40] accounts for 300B of those (1 minor); b [10,60] on
+   domain 1 allocates 500B (1 minor). *)
+let alloc_events () =
+  let o id parent name t d =
+    Telemetry.Span_open
+      { id; parent; name; t_ns = Int64.of_int t; domain = d }
+  in
+  let c id name t0 t d alloc_b minor_n major_n =
+    Telemetry.Span_close
+      {
+        id;
+        name;
+        t_ns = Int64.of_int t;
+        dur_ns = Int64.of_int (t - t0);
+        alloc_b;
+        minor_n;
+        major_n;
+        domain = d;
+      }
+  in
+  [
+    Telemetry.Trace_start { t_ns = 0L; domain = 0 };
+    o 1 None "a" 0 0;
+    o 2 None "b" 10 1;
+    o 3 (Some 1) "c" 20 0;
+    c 3 "c" 20 40 0 300 1 0;
+    c 2 "b" 10 60 1 500 1 0;
+    c 1 "a" 0 100 0 1000 2 1;
+  ]
+
+let test_alloc_accounting () =
+  let t = Profile.of_events (alloc_events ()) in
+  check int_t "root cumulative bytes" 1500 (Profile.total_alloc_b t);
+  check int_t "Σ self-alloc = root cumulative" (Profile.total_alloc_b t)
+    (Profile.total_self_alloc_b t);
+  let span name =
+    let rec find s = if s.Profile.name = name then Some s
+      else List.fold_left
+          (fun acc c -> if acc = None then find c else acc)
+          None s.Profile.children
+    in
+    match
+      List.fold_left
+        (fun acc r -> if acc = None then find r else acc)
+        None t.Profile.roots
+    with
+    | Some s -> s
+    | None -> Alcotest.fail ("no span " ^ name)
+  in
+  check int_t "parent self-alloc subtracts the child" 700
+    (Profile.self_alloc_b (span "a"));
+  check int_t "leaf self-alloc is its cumulative" 300
+    (Profile.self_alloc_b (span "c"));
+  let totals = Profile.totals t in
+  let agg name = List.find (fun g -> g.Profile.agg_name = name) totals in
+  check int_t "aggregate cumulative bytes" 1000 (agg "a").Profile.alloc_total_b;
+  check int_t "aggregate self bytes" 700 (agg "a").Profile.self_alloc_total_b;
+  check int_t "aggregate minors" 2 (agg "a").Profile.minor_total_n;
+  check int_t "aggregate majors" 1 (agg "a").Profile.major_total_n;
+  check int_t "totals partition self bytes" (Profile.total_self_alloc_b t)
+    (List.fold_left (fun a g -> a + g.Profile.self_alloc_total_b) 0 totals)
+
+let test_alloc_critical_path_and_lanes () =
+  let t = Profile.of_events (alloc_events ()) in
+  check
+    (Alcotest.list string_t)
+    "allocation critical path follows the heaviest-allocating chain"
+    [ "a"; "c" ]
+    (List.map (fun s -> s.Profile.name) (Profile.critical_path_alloc t));
+  check
+    (Alcotest.list string_t)
+    "per-domain allocation path" [ "b" ]
+    (List.map
+       (fun s -> s.Profile.name)
+       (Profile.critical_path_alloc ~domain:1 t));
+  let fa = Profile.folded_alloc t in
+  check int_t "folded-alloc weights sum to self bytes"
+    (Profile.total_self_alloc_b t)
+    (List.fold_left (fun a (_, v) -> a + v) 0 fa);
+  check (Alcotest.option int_t) "child stack carries its bytes" (Some 300)
+    (List.assoc_opt "a;c" fa);
+  let tl = Profile.timeline t in
+  check
+    (Alcotest.list int_t)
+    "lane allocation totals" [ 1000; 500 ]
+    (List.map (fun l -> l.Profile.lane_alloc_b) tl.Profile.tl_lanes)
+
+let test_alloc_clamp () =
+  (* A malformed trace (child claims more bytes than its parent) must
+     clamp the parent's self-allocation at 0, never go negative. *)
+  let events =
+    match alloc_events () with
+    | [ ts; oa; ob; oc; _cc; cb; ca ] ->
+        let cc =
+          Telemetry.Span_close
+            {
+              id = 3;
+              name = "c";
+              t_ns = 40L;
+              dur_ns = 20L;
+              alloc_b = 5000;
+              minor_n = 0;
+              major_n = 0;
+              domain = 0;
+            }
+        in
+        [ ts; oa; ob; oc; cc; cb; ca ]
+    | _ -> Alcotest.fail "unexpected scripted trace shape"
+  in
+  let t = Profile.of_events events in
+  let a = List.find (fun s -> s.Profile.name = "a") t.Profile.roots in
+  check int_t "self-alloc clamped at 0" 0 (Profile.self_alloc_b a)
+
+let test_alloc_invariant_live () =
+  (* The live workload's measured allocations satisfy the same
+     partition invariant as the scripted geometry. *)
+  let t = Profile.of_events (collect_workload ()) in
+  check int_t "Σ self-alloc = root cumulative (live)"
+    (Profile.total_alloc_b t)
+    (Profile.total_self_alloc_b t);
+  let rec each f s =
+    f s;
+    List.iter (each f) s.Profile.children
+  in
+  List.iter
+    (each (fun s ->
+         check bool_t "self-alloc within [0, alloc_b]" true
+           (Profile.self_alloc_b s >= 0
+           && Profile.self_alloc_b s <= s.Profile.alloc_b)))
+    t.Profile.roots
+
+let test_alloc_render () =
+  let t = Profile.of_events (alloc_events ()) in
+  let out = Format.asprintf "%a" (Profile.pp_alloc ~top:10) t in
+  check bool_t "prints the allocation profile header" true
+    (contains out "allocation profile");
+  check bool_t "prints the partition check" true
+    (contains out "self-allocation total");
+  check bool_t "prints allocation lanes with rates" true
+    (contains out "lane domain 0" && contains out "/s")
+
+(* ------------------------------------------------------------------ *)
 (* Property: histogram merge is associative (and commutative) *)
 
 let hist_gen rng =
@@ -458,6 +606,16 @@ let () =
           Alcotest.test_case "single-domain degenerate" `Quick
             test_timeline_single_domain;
           Alcotest.test_case "timeline rendering" `Quick test_timeline_render;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "self vs cumulative bytes" `Quick
+            test_alloc_accounting;
+          Alcotest.test_case "critical path and lanes" `Quick
+            test_alloc_critical_path_and_lanes;
+          Alcotest.test_case "malformed trace clamps" `Quick test_alloc_clamp;
+          Alcotest.test_case "live invariant" `Quick test_alloc_invariant_live;
+          Alcotest.test_case "rendering" `Quick test_alloc_render;
         ] );
       ( "document",
         [ Alcotest.test_case "slocal.profile/1" `Quick test_profile_json ] );

@@ -286,6 +286,61 @@ let parallel_re_tests =
           parallel_widths);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Allocation determinism: the sequential kernel allocates the same
+   number of bytes on every run over the same seeded problems — the
+   property underpinning the bench harness's 1.02x allocation gate
+   (DESIGN.md, bench schema).  Each sweep regenerates the problems
+   from the same seed (fresh constraint memo tables) and runs with the
+   cross-invocation cache off, so every sweep performs byte-identical
+   work.  One warmup sweep first: lazy global state (metric
+   registries, table growth) may allocate once per process, not per
+   run. *)
+
+let alloc_determinism_tests =
+  [
+    Alcotest.test_case "sequential RE allocation deterministic" `Slow
+      (fun () ->
+        Re_step.set_kernel Re_step.Fast;
+        let problems () =
+          let g = Slocal_util.Prng.create seed in
+          List.init 50 (fun _ -> Proptest.problem ~d_white:2 ~d_black:2 g)
+        in
+        let alloc_of f =
+          (* Minor-words delta with endpoint flushes, the same
+             collection-timing-independent measurement the bench
+             harness uses for alloc_b (see bench/main.ml): on OCaml
+             5.1, [Gc.allocated_bytes] deltas inflate by whatever an
+             in-region minor collection happens to promote. *)
+          Gc.minor ();
+          let m0 = (Gc.quick_stat ()).Gc.minor_words in
+          f ();
+          Gc.minor ();
+          let m1 = (Gc.quick_stat ()).Gc.minor_words in
+          int_of_float ((m1 -. m0) *. float_of_int (Sys.word_size / 8))
+        in
+        let sweep () =
+          List.map
+            (fun p ->
+              alloc_of (fun () ->
+                  match Re_step.re ~cache:false p with
+                  | (_ : Problem.t) -> ()
+                  | exception Invalid_argument _ -> ()))
+            (problems ())
+        in
+        ignore (sweep () : int list);
+        let first = sweep () and second = sweep () in
+        List.iteri
+          (fun i (a, b) ->
+            if a <> b then
+              Alcotest.fail
+                (Printf.sprintf
+                   "allocation differs on problem %d of the sweep: %dB vs \
+                    %dB; reproduce with PROPTEST_SEED=%d"
+                   i a b seed))
+          (List.combine first second))
+  ]
+
 let () =
   Alcotest.run "proptest"
     [
@@ -293,4 +348,5 @@ let () =
       ("constr-differential", constr_tests);
       ("parallel-differential", parallel_tests);
       ("parallel-kernel", parallel_re_tests);
+      ("alloc-determinism", alloc_determinism_tests);
     ]
