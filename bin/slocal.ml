@@ -16,11 +16,15 @@
      export   — print a problem in the textual document format
      lint     — static analysis: verify the formalism invariants
      audit    — re-validate a lower-bound certificate end to end
+     serve    — long-lived daemon: JSONL requests over a Unix socket,
+                warm RE cache, one request window per work request
+     client   — send requests to (or replay a capture against) a
+                serving daemon
 
    The kernel-facing subcommands (re, lift, solve, gen, audit, stats,
    sequence, sweep) accept [--trace FILE] to record a JSONL telemetry
-   trace (schema slocal.trace/3, domain-tagged with per-span GC-work
-   deltas; see DESIGN.md) and [--metrics] to print the
+   trace (schema slocal.trace/4, domain-tagged with per-span GC-work
+   deltas and request-id stamps; see DESIGN.md) and [--metrics] to print the
    counter summary to stderr on exit; each of them also appends one
    slocal.run/1 manifest record to the run ledger (SLOCAL_LEDGER or
    .slocal/runs.jsonl; "off" disables).  re/solve/sequence/audit/stats
@@ -51,10 +55,6 @@ module Bipartite = Slocal_graph.Bipartite
 module Girth = Slocal_graph.Girth
 module Solver = Slocal_model.Solver
 module Checker = Slocal_model.Checker
-module MF = Slocal_problems.Matching_family
-module CF = Slocal_problems.Coloring_family
-module RF = Slocal_problems.Ruling_family
-module Classic = Slocal_problems.Classic
 module Core = Supported_local
 module Diagnostic = Slocal_analysis.Diagnostic
 module Chk = Slocal_analysis.Check
@@ -65,56 +65,12 @@ module Json = Slocal_obs.Json
 module Ledger = Slocal_obs.Ledger
 module Progress = Slocal_obs.Progress
 module Openmetrics = Slocal_obs.Openmetrics
+module Serve = Slocal_serve.Serve
 
-let parse_problem spec =
-  let p =
-    match String.split_on_char ':' spec with
-    | [ "matching"; d; x; y ] ->
-        MF.pi ~delta:(int_of_string d) ~x:(int_of_string x) ~y:(int_of_string y)
-    | [ "mm"; d ] -> MF.maximal_matching ~delta:(int_of_string d)
-    | [ "arb"; d; c ] -> CF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
-    | [ "ruling"; d; c; b ] ->
-        RF.pi ~delta:(int_of_string d) ~c:(int_of_string c)
-          ~beta:(int_of_string b)
-    | [ "so"; d ] -> Classic.sinkless_orientation ~delta:(int_of_string d)
-    | [ "col"; d; c ] ->
-        Classic.coloring ~delta:(int_of_string d) ~c:(int_of_string c)
-    | "file" :: rest ->
-        let path = String.concat ":" rest in
-        let ic = open_in path in
-        let len = in_channel_length ic in
-        let text = really_input_string ic len in
-        close_in ic;
-        Problem.of_string text
-    | _ -> invalid_arg (Printf.sprintf "unknown problem spec %S" spec)
-  in
-  (* No-op unless a run context is open (kernel-facing subcommands). *)
-  Ledger.note_problem ~name:p.Problem.name ~hash:(Problem.canonical_hash p);
-  p
-
-let parse_graph spec =
-  let bipartite_cycle k =
-    let g = Gen.cycle (2 * k) in
-    Bipartite.make g
-      (Array.init (2 * k) (fun v ->
-           if v mod 2 = 0 then Bipartite.White else Bipartite.Black))
-  in
-  match String.split_on_char ':' spec with
-  | [ "cycle"; k ] -> bipartite_cycle (int_of_string k)
-  | [ "kbb"; a; b ] -> Gen.complete_bipartite (int_of_string a) (int_of_string b)
-  | [ "cover-petersen" ] -> Gen.double_cover (Gen.petersen ())
-  | [ "cover-random"; n; d; seed ] ->
-      let rng = Slocal_util.Prng.create (int_of_string seed) in
-      let c =
-        Gen.high_girth_low_independence rng ~n:(int_of_string n)
-          ~d:(int_of_string d) ()
-      in
-      Gen.double_cover c.Gen.graph
-  | [ "biregular"; nw; nb; dw; db; seed ] ->
-      let rng = Slocal_util.Prng.create (int_of_string seed) in
-      Gen.random_biregular rng ~nw:(int_of_string nw) ~nb:(int_of_string nb)
-        ~dw:(int_of_string dw) ~db:(int_of_string db)
-  | _ -> invalid_arg (Printf.sprintf "unknown graph spec %S" spec)
+(* Spec parsing lives in Slocal_serve.Serve so the one-shot CLI and
+   the serve daemon accept identical problem/graph specs. *)
+let parse_problem = Serve.parse_problem_spec
+let parse_graph = Serve.parse_graph_spec
 
 let problem_arg =
   let doc =
@@ -131,7 +87,7 @@ let trace_opt =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Record a JSONL telemetry trace (schema slocal.trace/3) to $(docv): \
+          "Record a JSONL telemetry trace (schema slocal.trace/4) to $(docv): \
            spans over the hot kernels (with allocation and GC-work deltas) \
            plus a final counter snapshot.")
 
@@ -692,9 +648,20 @@ let trace_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"TRACE"
           ~doc:
-            "A JSONL trace recorded with --trace (schema slocal.trace/3; \
-             legacy slocal.trace/1 and /2 files read with zero GC-work \
-             deltas, /1 as single-domain).")
+            "A JSONL trace recorded with --trace (schema slocal.trace/4; \
+             legacy slocal.trace/1, /2 and /3 files read with the absent \
+             fields defaulted, /1 as single-domain).")
+  in
+  let request_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request" ] ~docv:"ID"
+          ~doc:
+            "Profile only the events stamped with request $(docv) (the \
+             slocal.trace/4 req field written inside a slocal serve \
+             request window); the summary still lists every request \
+             present in the file.")
   in
   let json_out =
     Arg.(
@@ -758,8 +725,9 @@ let trace_cmd =
         close_out oc;
         Format.eprintf "wrote %s %s@." what file
   in
-  let run trace_file json_out folded_out folded_alloc_out top timeline alloc =
-    let profile = Profile.of_file trace_file in
+  let run trace_file request json_out folded_out folded_alloc_out top timeline
+      alloc =
+    let profile = Profile.of_file ?request trace_file in
     (* An empty or fully-damaged trace means there is nothing to
        profile: a loud SL040 diagnostic and exit 1 instead of a
        silently empty report. *)
@@ -768,10 +736,20 @@ let trace_cmd =
         (Diagnostic.pp_report ~machine:false)
         [
           Diagnostic.error ~code:"SL040" ~subject:trace_file
-            (Printf.sprintf
-               "trace contains no parseable events (%d damaged line(s) \
-                skipped)"
-               profile.Profile.skipped_lines);
+            (match request with
+            | Some id ->
+                Printf.sprintf
+                  "trace contains no events for request %S (requests \
+                   present: %s)"
+                  id
+                  (match profile.Profile.requests with
+                  | [] -> "none"
+                  | reqs -> String.concat ", " (List.map fst reqs))
+            | None ->
+                Printf.sprintf
+                  "trace contains no parseable events (%d damaged line(s) \
+                   skipped)"
+                  profile.Profile.skipped_lines);
         ];
       exit 1
     end;
@@ -779,7 +757,8 @@ let trace_cmd =
     | Some s
       when s <> Telemetry.trace_schema_version
            && s <> "slocal.trace/1"
-           && s <> "slocal.trace/2" ->
+           && s <> "slocal.trace/2"
+           && s <> "slocal.trace/3" ->
         Format.eprintf "trace report: warning: unknown trace schema %S@." s
     | Some _ -> ()
     | None ->
@@ -820,8 +799,8 @@ let trace_cmd =
             --alloc for the self/cumulative allocation report; --timeline \
             for the multi-domain parallelism report")
       Term.(
-        const run $ file_arg $ json_out $ folded_out $ folded_alloc_out $ top
-        $ timeline_flag $ alloc_flag)
+        const run $ file_arg $ request_opt $ json_out $ folded_out
+        $ folded_alloc_out $ top $ timeline_flag $ alloc_flag)
   in
   Cmd.group
     (Cmd.info "trace" ~doc:"Analyze recorded telemetry traces")
@@ -1196,7 +1175,8 @@ let runs_cmd =
   in
   let load ledger =
     let path = resolve ledger in
-    if not (Sys.file_exists path) then (path, { Ledger.records = []; skipped = 0 })
+    if not (Sys.file_exists path) then
+      (path, { Ledger.records = []; skipped = 0; foreign = 0 })
     else
       match Ledger.read_file path with
       | r -> (path, r)
@@ -1207,7 +1187,12 @@ let runs_cmd =
   let warn_skipped path (r : Ledger.read_result) =
     if r.Ledger.skipped > 0 then
       Format.eprintf "runs: %s: skipped %d damaged line(s)@." path
-        r.Ledger.skipped
+        r.Ledger.skipped;
+    if r.Ledger.foreign > 0 then
+      Format.eprintf
+        "runs: %s: ignored %d record(s) of other schemas (e.g. \
+         slocal.request/1)@."
+        path r.Ledger.foreign
   in
   let iso t =
     let tm = Unix.gmtime t in
@@ -1404,6 +1389,211 @@ let runs_cmd =
              subcommands")
     [ list_cmd; show_cmd; diff_cmd; gc_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* The serve daemon and its client: one warm process (RE cache, memo
+   tables, telemetry registry) answering JSONL requests over a
+   Unix-domain socket, each work request inside a
+   Telemetry.with_request window (DESIGN.md §10). *)
+
+let socket_opt =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let record_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Append one slocal.capture/1 line per work request (the request \
+             JSON plus its slocal.request/1 summary) to $(docv), for later \
+             $(b,slocal client --replay).")
+  in
+  let request_ledger_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append one slocal.request/1 record per work request to $(docv).")
+  in
+  let heartbeat_flag =
+    Arg.(
+      value & flag
+      & info [ "heartbeat" ]
+          ~doc:
+            "Emit throttled [serve] heartbeat lines (uptime, requests \
+             served, RE-cache hit rate) to stderr.")
+  in
+  let run socket jobs record request_ledger heartbeat trace metrics openmetrics
+      =
+    with_telemetry ~cmd:"serve" trace metrics openmetrics @@ fun () ->
+    let config =
+      {
+        Serve.jobs;
+        record;
+        request_ledger;
+        heartbeat = (if heartbeat then Some stderr else None);
+        heartbeat_interval_ns =
+          Serve.default_config.Serve.heartbeat_interval_ns;
+      }
+    in
+    let st = Serve.create ~config () in
+    Format.eprintf "serve: listening on %s (jobs=%d)@." socket jobs;
+    Serve.serve ~socket st;
+    Format.eprintf "serve: shut down after %d request(s) (%d error(s))@."
+      (Serve.served st) (Serve.errored st)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve re/sequence/solve/audit requests over a Unix socket, with a \
+          warm RE cache and per-request observability")
+    Term.(
+      const run $ socket_opt $ jobs_opt $ record_opt $ request_ledger_opt
+      $ heartbeat_flag $ trace_opt $ metrics_flag $ openmetrics_opt)
+
+let client_cmd =
+  let req_args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request objects to send, one JSON value each (e.g. \
+             '{\"op\":\"re\",\"problem\":\"mm:3\"}').")
+  in
+  let replay_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-send the requests of a slocal.capture/1 file recorded with \
+             $(b,slocal serve --record) and print each request's wall/alloc \
+             numbers next to the recorded ones.")
+  in
+  let wait_opt =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep retrying the connection for up to $(docv) seconds while \
+             the daemon starts.")
+  in
+  let check_sum_flag =
+    Arg.(
+      value & flag
+      & info [ "check-sum" ]
+          ~doc:
+            "After the batch, send a stats request and fail unless the \
+             daemon reports check_sum=true: the per-request counter deltas \
+             must sum exactly to the registry delta since daemon start (up \
+             to the documented out-of-window serve.* counters).")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request after the batch.")
+  in
+  let run socket wait requests replay check_sum shutdown =
+    let conn =
+      try Serve.connect ~wait_s:wait ~socket ()
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "client: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2
+    in
+    let failures = ref 0 in
+    let send_request ~recorded req =
+      match Serve.roundtrip conn req with
+      | Error msg ->
+          incr failures;
+          Printf.eprintf "client: %s\n" msg
+      | Ok resp -> (
+          print_endline (Json.to_string resp);
+          let ok =
+            Option.value ~default:false
+              (Option.bind (Json.member "ok" resp) Json.as_bool)
+          in
+          if not ok then incr failures;
+          match (recorded : Ledger.request_record option) with
+          | None -> ()
+          | Some prev -> (
+              match
+                Option.bind (Json.member "request" resp) (fun j ->
+                    Result.to_option (Ledger.request_of_json j))
+              with
+              | None -> ()
+              | Some now ->
+                  Format.eprintf
+                    "replay %-8s %-8s wall %a -> %a  alloc %dB -> %dB  cache \
+                     %d/%d -> %d/%d@."
+                    now.Ledger.rr_id now.Ledger.rr_op Telemetry.pp_duration
+                    (Int64.of_int prev.Ledger.rr_wall_ns)
+                    Telemetry.pp_duration
+                    (Int64.of_int now.Ledger.rr_wall_ns)
+                    prev.Ledger.rr_alloc_b now.Ledger.rr_alloc_b
+                    prev.Ledger.rr_cache_hits prev.Ledger.rr_cache_misses
+                    now.Ledger.rr_cache_hits now.Ledger.rr_cache_misses))
+    in
+    List.iter
+      (fun s ->
+        match Json.of_string s with
+        | Error msg ->
+            incr failures;
+            Printf.eprintf "client: invalid request %S: %s\n" s msg
+        | Ok j -> send_request ~recorded:None j)
+      requests;
+    (match replay with
+    | None -> ()
+    | Some path ->
+        let items, skipped = Serve.read_capture path in
+        if skipped > 0 then
+          Printf.eprintf "client: %s: skipped %d damaged capture line(s)\n"
+            path skipped;
+        List.iter (fun (req, recorded) -> send_request ~recorded req) items);
+    (if check_sum then
+       match Serve.roundtrip conn (Json.Obj [ ("op", Json.String "stats") ]) with
+       | Error msg ->
+           incr failures;
+           Printf.eprintf "client: stats: %s\n" msg
+       | Ok resp ->
+           print_endline (Json.to_string resp);
+           let ok =
+             Option.value ~default:false
+               (Option.bind (Json.member "result" resp) (fun r ->
+                    Option.bind (Json.member "check_sum" r) Json.as_bool))
+           in
+           if ok then Printf.eprintf "client: check-sum ok\n"
+           else begin
+             incr failures;
+             Printf.eprintf "client: check-sum FAILED\n"
+           end);
+    if shutdown then begin
+      match
+        Serve.roundtrip conn (Json.Obj [ ("op", Json.String "shutdown") ])
+      with
+      | Ok resp -> print_endline (Json.to_string resp)
+      | Error msg ->
+          incr failures;
+          Printf.eprintf "client: shutdown: %s\n" msg
+    end;
+    Serve.disconnect conn;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send JSONL requests (or replay a recorded capture) to a slocal \
+          serve daemon")
+    Term.(
+      const run $ socket_opt $ wait_opt $ req_args $ replay_opt
+      $ check_sum_flag $ shutdown_flag)
+
 let () =
   let info =
     Cmd.info "slocal" ~version:"1.0.0"
@@ -1427,4 +1617,6 @@ let () =
             export_cmd;
             lint_cmd;
             audit_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -36,6 +36,10 @@ type t = {
   event_count : int;
   skipped_lines : int;
   schema : string option;
+  requests : (string * int) list;
+      (* per-request event tally of the whole trace file (/4 [req]
+         stamps), first-seen order; [] for older traces or raw event
+         lists *)
   domains : int list;
       (* distinct domain ids carrying span events, ascending *)
   t_min : int64;
@@ -216,6 +220,7 @@ let of_events ?(skipped = 0) events =
     event_count = !event_count;
     skipped_lines = skipped;
     schema = !schema;
+    requests = [];
     domains = List.sort compare !span_domains;
     t_min = (if Int64.compare !t_min Int64.max_int = 0 then 0L else !t_min);
     t_max = (if Int64.compare !t_max Int64.min_int = 0 then 0L else !t_max);
@@ -236,9 +241,9 @@ let of_events ?(skipped = 0) events =
 
 let of_read_result (r : Trace.read_result) =
   let p = of_events ~skipped:r.Trace.skipped r.Trace.events in
-  { p with schema = r.Trace.schema }
+  { p with schema = r.Trace.schema; requests = r.Trace.requests }
 
-let of_file path = of_read_result (Trace.read_file path)
+let of_file ?request path = of_read_result (Trace.read_file ?request path)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation *)
@@ -572,6 +577,7 @@ let to_json ~source t : Json.t =
       ("wall_ns", Json.Int (total_wall_ns t));
       ("alloc_b", Json.Int (total_alloc_b t));
       ("domains", Json.List (List.map (fun d -> Json.Int d) t.domains));
+      ("requests", int_obj t.requests);
       ("timeline", timeline_to_json (timeline t));
       ("tree", Json.List (List.map span_to_json t.roots));
       ( "totals",
@@ -757,6 +763,14 @@ let pp ?(top = 10) fmt t =
   | [] -> ()
   | ms ->
       List.iter (fun (_, text) -> Format.fprintf fmt "  | %s@." text) ms);
+  (match t.requests with
+  | [] -> ()
+  | reqs ->
+      Format.fprintf fmt "requests (%d): %s@." (List.length reqs)
+        (String.concat ", "
+           (List.map
+              (fun (id, n) -> Printf.sprintf "%s (%d events)" id n)
+              reqs)));
   let tot = totals t in
   let wall = max 1 (total_wall_ns t) in
   Format.fprintf fmt "@.hotspots (by self time, top %d of %d):@." top

@@ -1,7 +1,11 @@
-(** Trace analysis: parse an [slocal.trace/3] (or legacy [/2], [/1])
-    JSONL trace back into a span tree and compute a profile — per-span
+(** Trace analysis: parse an [slocal.trace/4] (or legacy [/3], [/2],
+    [/1]) JSONL trace back into a span tree and compute a profile — per-span
     self vs. cumulative time {e and} self vs. cumulative allocation
-    (with per-span GC-work deltas), counter-delta attribution,
+    (with per-span GC-work deltas), per-request filtering (the [/4]
+    [req] stamps written inside
+    {!Slocal_obs.Telemetry.with_request} windows — pass [?request] to
+    {!of_file} to profile one daemon request), counter-delta
+    attribution,
     time- and bytes-weighted critical paths, top-k hotspot tables, the
     per-step provenance ("derivation log") table, folded stacks
     (time- and bytes-weighted) for [flamegraph.pl]/speedscope, and the
@@ -61,6 +65,11 @@ type t = {
   event_count : int;
   skipped_lines : int;
   schema : string option;
+  requests : (string * int) list;
+      (** Per-request event tally of the whole trace file — the
+          [slocal.trace/4] [req] stamps in first-seen order, even when
+          the profile itself was filtered with [?request].  [[]] for
+          older traces and for {!of_events} input. *)
   domains : int list;
       (** Distinct domain ids that recorded span events, ascending.
           [[0]] (or [[]]) for a sequential or legacy trace. *)
@@ -86,8 +95,12 @@ val of_events : ?skipped:int -> Slocal_obs.Telemetry.event list -> t
     domain's own span tree. *)
 
 val of_read_result : Slocal_obs.Trace.read_result -> t
-val of_file : string -> t
-(** @raise Sys_error when the file cannot be opened. *)
+
+val of_file : ?request:string -> string -> t
+(** With [?request], only the events stamped with that request id are
+    profiled (the CLI's [trace report --request ID]); the [requests]
+    field still tallies the whole file.
+    @raise Sys_error when the file cannot be opened. *)
 
 (** {1 Per-span measures} *)
 

@@ -245,10 +245,10 @@ let append ~path r =
   | Sys_error msg -> Error msg
   | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-type read_result = { records : record list; skipped : int }
+type read_result = { records : record list; skipped : int; foreign : int }
 
 let read_channel ic =
-  let records = ref [] and skipped = ref 0 in
+  let records = ref [] and skipped = ref 0 and foreign = ref 0 in
   (try
      while true do
        let line = input_line ic in
@@ -256,13 +256,20 @@ let read_channel ic =
          match Json.of_string line with
          | Error _ -> incr skipped
          | Ok j -> (
-             match of_json j with
-             | Ok r -> records := r :: !records
-             | Error _ -> incr skipped)
+             (* A well-formed record of some *other* schema (a
+                slocal.request/1 line in a shared ledger, a future
+                slocal.run/2) is foreign, not damaged: newer writers
+                must not make older readers report corruption. *)
+             match Option.bind (Json.member "schema" j) Json.as_string with
+             | Some s when s <> schema_version -> incr foreign
+             | _ -> (
+                 match of_json j with
+                 | Ok r -> records := r :: !records
+                 | Error _ -> incr skipped))
        end
      done
    with End_of_file -> ());
-  { records = List.rev !records; skipped = !skipped }
+  { records = List.rev !records; skipped = !skipped; foreign = !foreign }
 
 let read_file path =
   let ic = open_in path in
@@ -304,7 +311,7 @@ let diff a b =
 
 let gc ~path ~keep =
   try
-    let { records; skipped } = read_file path in
+    let { records; skipped; foreign } = read_file path in
     let n = List.length records in
     let dropped_records = max 0 (n - keep) in
     let kept =
@@ -323,10 +330,119 @@ let gc ~path ~keep =
             output_char oc '\n')
           kept);
     Sys.rename tmp path;
-    Ok (List.length kept, dropped_records + skipped)
+    Ok (List.length kept, dropped_records + skipped + foreign)
   with
   | Sys_error msg -> Error msg
   | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request ledger records (schema slocal.request/1).  One line per
+   daemon request, appended to the same kind of JSONL file as run
+   records — possibly the *same* file, which is why the run reader
+   above counts unknown schemas as foreign instead of damaged. *)
+
+let request_schema_version = "slocal.request/1"
+
+type request_record = {
+  rr_id : string;
+  rr_op : string;
+  rr_problems : (string * int) list;
+  rr_kernel : string option;
+  rr_jobs : int;
+  rr_wall_ns : int;
+  rr_alloc_b : int;
+  rr_cache_hits : int;
+  rr_cache_misses : int;
+  rr_outcome : string;
+}
+
+let request_to_json r : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String request_schema_version);
+      ("id", Json.String r.rr_id);
+      ("op", Json.String r.rr_op);
+      ( "problems",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.rr_problems) );
+      ( "kernel",
+        match r.rr_kernel with None -> Json.Null | Some k -> Json.String k );
+      ("jobs", Json.Int r.rr_jobs);
+      ("wall_ns", Json.Int r.rr_wall_ns);
+      ("alloc_b", Json.Int r.rr_alloc_b);
+      ("cache_hits", Json.Int r.rr_cache_hits);
+      ("cache_misses", Json.Int r.rr_cache_misses);
+      ("outcome", Json.String r.rr_outcome);
+    ]
+
+let request_of_json j : (request_record, string) result =
+  let str k =
+    match Option.bind (Json.member k j) Json.as_string with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let* schema = str "schema" in
+  if schema <> request_schema_version then
+    Error (Printf.sprintf "unsupported schema %S" schema)
+  else
+    let* rr_id = str "id" in
+    let* rr_op = str "op" in
+    let* rr_outcome = str "outcome" in
+    let* rr_problems = int_entries j "problems" in
+    let rr_kernel = Option.bind (Json.member "kernel" j) Json.as_string in
+    let opt_int k =
+      Option.value ~default:0 (Option.bind (Json.member k j) Json.as_int)
+    in
+    Ok
+      {
+        rr_id;
+        rr_op;
+        rr_problems;
+        rr_kernel;
+        rr_jobs = opt_int "jobs";
+        rr_wall_ns = opt_int "wall_ns";
+        rr_alloc_b = opt_int "alloc_b";
+        rr_cache_hits = opt_int "cache_hits";
+        rr_cache_misses = opt_int "cache_misses";
+        rr_outcome;
+      }
+
+let append_request ~path r =
+  try
+    mkdir_p (Filename.dirname path);
+    let oc =
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string (request_to_json r));
+        output_char oc '\n';
+        flush oc);
+    Ok ()
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let read_requests_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records = ref [] and skipped = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             match Json.of_string line with
+             | Error _ -> incr skipped
+             | Ok j -> (
+                 match request_of_json j with
+                 | Ok r -> records := r :: !records
+                 | Error _ -> incr skipped)
+           end
+         done
+       with End_of_file -> ());
+      (List.rev !records, !skipped))
 
 (* ------------------------------------------------------------------ *)
 (* The in-process run context.  [begin_run] opens it; the [note_*]

@@ -1,4 +1,4 @@
-let trace_schema_version = "slocal.trace/3"
+let trace_schema_version = "slocal.trace/4"
 let now_ns = Monotonic_clock.now
 let self_domain () = (Domain.self () :> int)
 
@@ -423,6 +423,37 @@ let remove_gc_alarm () =
       gc_alarm := None
 
 (* ------------------------------------------------------------------ *)
+(* Request context.
+
+   A long-lived process (the [slocal serve] daemon) handles many
+   requests against the same shards.  [with_request] marks a window:
+   while it is open, every emitted event carries the request id (the
+   additive slocal.trace/4 [req] field, stamped at serialization
+   time so worker-domain events inside the window are tagged too),
+   and the summary returned at close reports only the window's own
+   counter deltas — computed from registry snapshots, so the global
+   totals and the live OpenMetrics registry stay exact.  Requests are
+   process-global and non-overlapping by design: the daemon handles
+   one request at a time (pool parallelism happens *inside* a
+   request), which is exactly what makes the per-request deltas
+   disjoint and their sum equal to the global delta. *)
+
+(* staticcheck: domain-safe current request id; atomic swap at request boundaries, read-only on the emit path *)
+let current_request_id : string option Atomic.t = Atomic.make None
+
+let current_request () = Atomic.get current_request_id
+
+type request_summary = {
+  rq_id : string;
+  rq_wall_ns : int64;
+  rq_alloc_b : int;
+  rq_counters : (string * int) list;
+  rq_gauges : (string * int) list;
+}
+
+let c_request_count = counter "request.count"
+
+(* ------------------------------------------------------------------ *)
 (* Events and sinks *)
 
 type event =
@@ -587,6 +618,39 @@ let span nm f =
       in
       Fun.protect ~finally:finish f
 
+let with_request ~id f =
+  (* The snapshot window brackets everything the request does —
+     including its own [request.count] tick, so the sum of per-request
+     counter deltas over a batch equals the global registry delta over
+     the same batch.  The [request] span gives the trace a per-request
+     root; with the null sink it reduces to a direct call. *)
+  let before = snapshot () in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = now_ns () in
+  Atomic.set current_request_id (Some id);
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set current_request_id None)
+      (fun () ->
+        incr c_request_count;
+        span "request" f)
+  in
+  let t1 = now_ns () in
+  let alloc_b = int_of_float (Gc.allocated_bytes () -. a0) in
+  let counters, gauges =
+    List.partition
+      (fun (nm, _) -> kind_of_name nm <> Some Gauge)
+      (delta ~before ~after:(snapshot ()))
+  in
+  ( v,
+    {
+      rq_id = id;
+      rq_wall_ns = Int64.sub t1 t0;
+      rq_alloc_b = alloc_b;
+      rq_counters = counters;
+      rq_gauges = gauges;
+    } )
+
 let emit_counters () =
   if enabled () then
     emit
@@ -665,9 +729,17 @@ let histogram_of_json j =
 let event_to_json ev : Json.t =
   let t ns = ("t_ns", Json.Int (Int64.to_int ns)) in
   let d domain = ("domain", Json.Int domain) in
+  (* The additive slocal.trace/4 field: stamped at serialization time,
+     so every event emitted while a request window is open — including
+     events from worker domains inside the window — carries the id. *)
+  let obj fields =
+    match Atomic.get current_request_id with
+    | None -> Json.Obj fields
+    | Some id -> Json.Obj (fields @ [ ("req", Json.String id) ])
+  in
   match ev with
   | Trace_start { t_ns; domain } ->
-      Json.Obj
+      obj
         [
           ("schema", Json.String trace_schema_version);
           ("kind", Json.String "trace_start");
@@ -675,7 +747,7 @@ let event_to_json ev : Json.t =
           d domain;
         ]
   | Span_open { id; parent; name; t_ns; domain } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "span_open");
           ("id", Json.Int id);
@@ -686,7 +758,7 @@ let event_to_json ev : Json.t =
           d domain;
         ]
   | Span_close { id; name; t_ns; dur_ns; alloc_b; minor_n; major_n; domain } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "span_close");
           ("id", Json.Int id);
@@ -699,7 +771,7 @@ let event_to_json ev : Json.t =
           d domain;
         ]
   | Counters { t_ns; domain; values } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "counters");
           t t_ns;
@@ -708,7 +780,7 @@ let event_to_json ev : Json.t =
             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
         ]
   | Histograms { t_ns; domain; values } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "histograms");
           t t_ns;
@@ -718,7 +790,7 @@ let event_to_json ev : Json.t =
           );
         ]
   | Provenance { t_ns; domain; step; label; values } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "provenance");
           t t_ns;
@@ -729,7 +801,7 @@ let event_to_json ev : Json.t =
             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values) );
         ]
   | Message { t_ns; domain; text } ->
-      Json.Obj
+      obj
         [
           ("kind", Json.String "message");
           t t_ns;

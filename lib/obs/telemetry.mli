@@ -30,9 +30,18 @@
 
     - {!stderr_sink} renders an indented live span tree to stderr;
     - {!jsonl_sink} writes one JSON object per line (the
-      [slocal.trace/3] schema, documented in DESIGN.md) through one
+      [slocal.trace/4] schema, documented in DESIGN.md) through one
       mutex-guarded writer fed by per-domain buffers;
-    - {!collector_sink} hands events to a callback (used by tests). *)
+    - {!collector_sink} hands events to a callback (used by tests).
+
+    {b Request windows}.  A long-lived process ({!Slocal_serve}'s
+    [slocal serve] daemon) wraps each unit of work in
+    {!with_request}: events serialized inside the window carry the
+    request id (the additive [slocal.trace/4] [req] field) and the
+    returned {!request_summary} reports the window's own counter
+    deltas, wall time and allocation — computed from registry
+    snapshots, so global totals and the live OpenMetrics registry
+    stay exact. *)
 
 (** {1 Metrics} *)
 
@@ -164,6 +173,39 @@ val histogram_snapshot : unit -> (string * Histogram.t) list
 val self_domain : unit -> int
 (** The calling domain's id ([Domain.self] as an integer) — the value
     stamped into the [domain] field of emitted events. *)
+
+(** {1 Request windows} *)
+
+type request_summary = {
+  rq_id : string;
+  rq_wall_ns : int64;  (** Wall time of the window (monotonic). *)
+  rq_alloc_b : int;
+      (** Bytes allocated on the coordinating domain inside the
+          window ([Gc.allocated_bytes] delta). *)
+  rq_counters : (string * int) list;
+      (** Non-zero {e counter} deltas attributable to the window,
+          sorted by name. *)
+  rq_gauges : (string * int) list;
+      (** Non-zero gauge values at window close (last-value
+          semantics: gauges do not subtract). *)
+}
+
+val with_request : id:string -> (unit -> 'a) -> 'a * request_summary
+(** [with_request ~id f] runs [f ()] inside a request window: the
+    global registry snapshot is taken at open and close and their
+    {!delta} becomes the summary's counter list; every event
+    serialized while the window is open — including events emitted by
+    worker domains inside it — carries [id] in the additive
+    [slocal.trace/4] [req] field; the body runs under a [request]
+    span and bumps the [request.count] counter {e inside} the window.
+    Windows are process-global and must not overlap (the serve daemon
+    handles one request at a time; pool parallelism happens inside a
+    request) — that non-overlap is what makes per-request counter
+    deltas disjoint and their sum equal to the global delta.  The id
+    is cleared on exceptions too; the exception still propagates. *)
+
+val current_request : unit -> string option
+(** The id of the currently open request window, if any. *)
 
 (** {1 GC gauges} *)
 
@@ -309,10 +351,12 @@ val message : string -> unit
 (** {1 Rendering} *)
 
 val trace_schema_version : string
-(** ["slocal.trace/3"] — /2 plus [minor_n]/[major_n] GC-work deltas
-    on every [span_close] (which was /1 plus a [domain] field on
-    every event).  The {!Slocal_obs.Trace} reader still accepts /1
-    and /2 files: absent fields default to 0. *)
+(** ["slocal.trace/4"] — /3 plus an optional [req] request-id field
+    on every event serialized inside a {!with_request} window (which
+    was /2 plus [minor_n]/[major_n] GC-work deltas on every
+    [span_close], which was /1 plus a [domain] field on every event).
+    The {!Slocal_obs.Trace} reader still accepts /1, /2 and /3 files:
+    absent fields default ([req] to "no request"). *)
 
 val event_to_json : event -> Json.t
 (** The JSONL line for an event (see DESIGN.md for the schema). *)

@@ -1,4 +1,4 @@
-(** Read [slocal.trace/3] (and /2, /1) JSONL traces back into
+(** Read [slocal.trace/4] (and /3, /2, /1) JSONL traces back into
     {!Telemetry.event} values — the inverse of
     {!Telemetry.event_to_json}.
 
@@ -10,13 +10,14 @@
     fields default when absent (traces from older writers): the
     [alloc_b] field of [span_close] defaults to [0], the /2 [domain]
     field defaults to [0] on every kind — /1 traces were
-    single-domain by construction — and the /3 [minor_n]/[major_n]
-    GC-work deltas of [span_close] default to [0].  A mixed
-    /1 + /2 + /3 file (e.g. a concatenation) therefore reads cleanly,
-    older events landing on domain 0 with zero GC work. *)
+    single-domain by construction — the /3 [minor_n]/[major_n]
+    GC-work deltas of [span_close] default to [0], and the /4 [req]
+    request id defaults to "no request".  A mixed /1 + /2 + /3 + /4
+    file (e.g. a concatenation) therefore reads cleanly, older events
+    landing on domain 0 with zero GC work and no request tag. *)
 
 val schema_version : string
-(** ["slocal.trace/3"]. *)
+(** ["slocal.trace/4"]. *)
 
 type read_result = {
   events : Telemetry.event list;  (** In file order. *)
@@ -24,13 +25,23 @@ type read_result = {
   schema : string option;
       (** The [schema] field of the first [trace_start] line, when
           present. *)
+  requests : (string * int) list;
+      (** Per-request event tally — [(request id, events carrying
+          it)] in first-seen order.  Always the {e whole} file's
+          tally, even under [?request] filtering, so a report can
+          list the other requests present. *)
 }
 
 val event_of_json : Json.t -> (Telemetry.event, string) result
 val parse_line : string -> (Telemetry.event, string) result
 
-val read_channel : in_channel -> read_result
-(** Consume the channel to EOF.  Blank lines are ignored silently. *)
+val read_channel : ?request:string -> in_channel -> read_result
+(** Consume the channel to EOF.  Blank lines are ignored silently.
+    With [?request], only events stamped with that exact request id
+    are kept (events without a [req] field are dropped too — they
+    belong to no request); dropped events are not counted in
+    [skipped], and [schema]/[requests] still describe the whole
+    file. *)
 
-val read_file : string -> read_result
+val read_file : ?request:string -> string -> read_result
 (** @raise Sys_error when the file cannot be opened. *)

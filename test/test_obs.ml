@@ -1019,8 +1019,8 @@ let test_jsonl_multi_domain () =
   close_out oc;
   let r = Trace.read_file file in
   check int_t "no damaged lines" 0 r.Trace.skipped;
-  check (Alcotest.option string_t) "schema is slocal.trace/3"
-    (Some "slocal.trace/3") r.Trace.schema;
+  check (Alcotest.option string_t) "schema is slocal.trace/4"
+    (Some "slocal.trace/4") r.Trace.schema;
   let domains =
     List.sort_uniq compare (List.map Telemetry.event_domain r.Trace.events)
   in
@@ -1116,6 +1116,80 @@ let test_progress_dropped () =
   check int_t "suppressed ticks counted" 2 (Progress.dropped_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Request windows *)
+
+let test_with_request_summary () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.rq" in
+  let v, s1 =
+    Telemetry.with_request ~id:"r1" (fun () ->
+        Telemetry.incr c;
+        Telemetry.incr c;
+        7)
+  in
+  check int_t "body result" 7 v;
+  check string_t "summary id" "r1" s1.Telemetry.rq_id;
+  check int_t "own counter delta" 2
+    (List.assoc "test.rq" s1.Telemetry.rq_counters);
+  check int_t "request.count lands inside its own window" 1
+    (List.assoc "request.count" s1.Telemetry.rq_counters);
+  check bool_t "window closed" true (Telemetry.current_request () = None);
+  let (), s2 =
+    Telemetry.with_request ~id:"r2" (fun () -> Telemetry.incr c)
+  in
+  check int_t "second window sees only its own increment" 1
+    (List.assoc "test.rq" s2.Telemetry.rq_counters);
+  (* Non-overlapping windows: the per-request deltas are disjoint and
+     sum exactly to the global registry delta. *)
+  let total =
+    Option.value ~default:0 (List.assoc_opt "test.rq" (Telemetry.snapshot ()))
+  in
+  check int_t "disjoint deltas sum to the global delta" total
+    (List.assoc "test.rq" s1.Telemetry.rq_counters
+    + List.assoc "test.rq" s2.Telemetry.rq_counters)
+
+let test_with_request_exception () =
+  with_clean_telemetry @@ fun () ->
+  (try
+     ignore
+       (Telemetry.with_request ~id:"boom" (fun () : int -> failwith "x"))
+   with Failure _ -> ());
+  check bool_t "request id cleared after an exception" true
+    (Telemetry.current_request () = None)
+
+let test_with_request_trace_stamp () =
+  with_clean_telemetry @@ fun () ->
+  let file = Filename.temp_file "slocal_req" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  Telemetry.set_sink (Telemetry.jsonl_sink oc);
+  ignore (Telemetry.span "outside" (fun () -> 0));
+  ignore
+    (Telemetry.with_request ~id:"rA" (fun () ->
+         Telemetry.span "inside" (fun () -> 0)));
+  ignore
+    (Telemetry.with_request ~id:"rB" (fun () ->
+         Telemetry.span "inside" (fun () -> 0)));
+  Telemetry.set_sink Telemetry.null_sink;
+  close_out oc;
+  let whole = Trace.read_file file in
+  check bool_t "whole-file tally lists both request ids" true
+    (List.mem_assoc "rA" whole.Trace.requests
+    && List.mem_assoc "rB" whole.Trace.requests);
+  let ra = Trace.read_file ~request:"rA" file in
+  let names =
+    List.filter_map
+      (function Telemetry.Span_open { name; _ } -> Some name | _ -> None)
+      ra.Trace.events
+  in
+  check bool_t "filtered view keeps rA's spans only" true
+    (List.mem "inside" names
+    && List.mem "request" names
+    && not (List.mem "outside" names));
+  check bool_t "request tally still covers the whole file" true
+    (ra.Trace.requests = whole.Trace.requests)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -1199,5 +1273,14 @@ let () =
             test_jsonl_multi_domain;
           Alcotest.test_case "mixed /1 + /2 + /3 trace" `Quick
             test_mixed_schema_trace;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "window summary and disjoint deltas" `Quick
+            test_with_request_summary;
+          Alcotest.test_case "exception clears the window" `Quick
+            test_with_request_exception;
+          Alcotest.test_case "trace req stamps and filtering" `Quick
+            test_with_request_trace_stamp;
         ] );
     ]
